@@ -1,0 +1,78 @@
+"""Ablation A2 — Bloom-filter request trees vs full snapshots (paper §V).
+
+Builds real composite request trees from a live simulation, summarizes
+them with per-level Bloom filters and measures: wire size savings,
+detection of true ring candidates (no false negatives by construction)
+and the false-positive rate that next-hop resolution must absorb.
+"""
+
+from __future__ import annotations
+
+from repro.core.bloom_tree import (
+    BloomTreeSummary,
+    false_positive_probe,
+    full_tree_wire_size,
+)
+from repro.core.request_tree import build_snapshot
+from repro.experiments.presets import preset
+from repro.experiments.report import SeriesTable
+from repro.simulation import FileSharingSimulation
+
+from conftest import SCALE, SEED, publish, run_once
+
+
+def _run():
+    config = preset(SCALE, exchange_mechanism="2-5-way",
+                    upload_capacity_kbit=40.0, seed=SEED)
+    sim = FileSharingSimulation(config)
+    ctx = sim.build()
+    ctx.engine.run(until=config.duration / 4)
+
+    table = SeriesTable(
+        "A2: Bloom tree summaries vs full request trees",
+        "tree_index",
+        ["full_bytes", "bloom_bytes", "fp_rate"],
+    )
+    total_full = total_bloom = 0
+    fp_total = probe_total = 0
+    trees_measured = 0
+    for peer in ctx.peers.values():
+        if peer.irq.is_empty:
+            continue
+        tree = build_snapshot(peer.peer_id, peer.irq, levels=4, node_budget=128)
+        if tree is None or not tree.children:
+            continue
+        summary = BloomTreeSummary.from_tree(tree, max_levels=4)
+        present = {node.peer_id for node in tree.iter_nodes()}
+        false_positives, probes = false_positive_probe(
+            summary, present, range(10_000, 11_000)
+        )
+        full = full_tree_wire_size(tree)
+        total_full += full
+        total_bloom += summary.size_bytes
+        fp_total += false_positives
+        probe_total += probes
+        if trees_measured < 12:
+            table.add_row(
+                float(trees_measured),
+                {
+                    "full_bytes": float(full),
+                    "bloom_bytes": float(summary.size_bytes),
+                    "fp_rate": false_positives / probes if probes else 0.0,
+                },
+            )
+        trees_measured += 1
+    return table, trees_measured, total_full, total_bloom, fp_total, probe_total
+
+
+def test_bloom_tree_ablation(benchmark):
+    table, measured, full, bloom, fps, probes = run_once(benchmark, _run)
+    publish(table, "ablation_bloom_tree")
+
+    assert measured > 0, "no populated request trees to measure"
+    # §V's claim: "the space savings of this scheme are likely to be
+    # important" — summaries must be much smaller in aggregate.
+    assert bloom < full, f"bloom bytes {bloom} should undercut full {full}"
+    # And the price: a small but non-zero false-positive rate.
+    rate = fps / probes if probes else 0.0
+    assert rate < 0.15, f"false positive rate {rate:.3f} too high to be useful"

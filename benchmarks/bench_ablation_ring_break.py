@@ -1,0 +1,56 @@
+"""Ablation A1 — ring break policy: terminate vs downgrade.
+
+DESIGN.md calls out the choice of what happens to surviving transfers
+when a ring member drops out: ``terminate`` ends them (the default,
+matching the paper's session-volume discussion), ``downgrade`` lets
+them continue as preemptible non-exchange sessions.  This bench
+quantifies the difference on the headline metric.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import preset
+from repro.experiments.report import SeriesTable
+from repro.simulation import run_simulation
+
+from conftest import SCALE, SEED, publish, run_once
+
+
+def _run():
+    table = SeriesTable(
+        "A1: ring break policy (terminate vs downgrade), 2-5-way",
+        "policy_index",
+        ["sharing_min", "non_sharing_min", "exchange_fraction"],
+    )
+    outcomes = {}
+    for index, policy in enumerate(("terminate", "downgrade")):
+        config = preset(
+            SCALE,
+            exchange_mechanism="2-5-way",
+            ring_break_policy=policy,
+            upload_capacity_kbit=40.0,
+            seed=SEED,
+        )
+        summary = run_simulation(config).summary
+        outcomes[policy] = summary
+        table.add_row(
+            float(index),
+            {
+                "sharing_min": summary.mean_download_time_sharers_min,
+                "non_sharing_min": summary.mean_download_time_freeloaders_min,
+                "exchange_fraction": summary.exchange_session_fraction,
+            },
+        )
+    return table, outcomes
+
+
+def test_ring_break_policy_ablation(benchmark):
+    table, outcomes = run_once(benchmark, _run)
+    publish(table, "ablation_ring_break")
+    for policy, summary in outcomes.items():
+        assert summary.counters.get("ring.formed", 0) > 0, f"{policy}: no rings"
+        # Both policies must preserve the incentive ordering.
+        assert (
+            summary.mean_download_time_sharers_min
+            < summary.mean_download_time_freeloaders_min
+        ), f"{policy}: sharers must still win"

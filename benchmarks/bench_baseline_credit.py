@@ -1,0 +1,65 @@
+"""Ablation A5 — incentive mechanisms head-to-head (paper §II argument).
+
+Compares, on the same loaded network: plain FIFO (no incentives), the
+KaZaA-style claimed-participation baseline with free-riders faking their
+level, the eMule-style credit baseline, and the paper's exchanges.
+
+Expected ordering of sharer-vs-freerider differentiation:
+participation (subverted) <= fifo < exchanges; credit sits between fifo
+and exchanges (it rewards contributors but "peers that do not have any
+credit can still use the system if they are patient enough").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import preset
+from repro.experiments.report import SeriesTable
+from repro.simulation import run_simulation
+
+from conftest import SCALE, SEED, publish, run_once
+
+REGIMES = (
+    ("fifo", dict(exchange_mechanism="none", scheduler_mode="fifo")),
+    ("participation", dict(exchange_mechanism="none", scheduler_mode="participation")),
+    ("credit", dict(exchange_mechanism="none", scheduler_mode="credit")),
+    ("exchange", dict(exchange_mechanism="2-5-way", scheduler_mode="fifo")),
+)
+
+
+def _run():
+    table = SeriesTable(
+        "A5: incentive baselines, sharer speedup over free-riders",
+        "regime_index",
+        ["speedup", "sharing_min", "non_sharing_min"],
+    )
+    speedups = {}
+    for index, (name, overrides) in enumerate(REGIMES):
+        config = preset(SCALE, upload_capacity_kbit=40.0, seed=SEED, **overrides)
+        summary = run_simulation(config).summary
+        speedups[name] = summary.speedup_sharers_vs_freeloaders
+        table.add_row(
+            float(index),
+            {
+                "speedup": summary.speedup_sharers_vs_freeloaders,
+                "sharing_min": summary.mean_download_time_sharers_min,
+                "non_sharing_min": summary.mean_download_time_freeloaders_min,
+            },
+        )
+    return table, speedups
+
+
+def test_baseline_comparison(benchmark):
+    table, speedups = run_once(benchmark, _run)
+    publish(table, "baseline_credit")
+
+    # The paper's core claim: exchanges beat every lighter-weight scheme.
+    assert speedups["exchange"] > speedups["fifo"], (
+        f"exchanges ({speedups['exchange']:.2f}) must differentiate more "
+        f"than no incentives ({speedups['fifo']:.2f})"
+    )
+    assert speedups["exchange"] > speedups["participation"], (
+        "the subverted participation scheme must not beat exchanges"
+    )
+    # The subverted participation scheme gives free-riders a free pass:
+    # it must not meaningfully out-differentiate plain FIFO.
+    assert speedups["participation"] <= speedups["fifo"] * 1.25

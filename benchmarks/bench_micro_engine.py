@@ -1,0 +1,41 @@
+"""Ablation A4 — event-engine throughput microbenchmark.
+
+The block-event rate bounds how big a network the simulator can carry;
+this pins the engine's raw events/second so regressions surface.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+
+
+def _churn(num_events: int) -> int:
+    engine = Engine()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+        if fired[0] < num_events:
+            engine.schedule(1.0, tick)
+
+    engine.schedule(1.0, tick)
+    engine.run(until=float(num_events + 1))
+    return fired[0]
+
+
+def test_engine_throughput(benchmark):
+    fired = benchmark(_churn, 20_000)
+    assert fired == 20_000
+
+
+def test_engine_cancellation_cost(benchmark):
+    def cancel_heavy():
+        engine = Engine()
+        events = [engine.schedule(float(i % 97) + 1.0, lambda: None) for i in range(5_000)]
+        for event in events[::2]:
+            event.cancel()
+        engine.run(until=100.0)
+        return engine.events_fired
+
+    fired = benchmark(cancel_heavy)
+    assert fired == 2_500

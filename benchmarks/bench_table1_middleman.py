@@ -1,0 +1,55 @@
+"""Table I / Fig. 3 + the middleman attack (paper §III-B).
+
+Reproduces the non-ring mixed object-capacity exchange outcome and
+verifies the trusted-mediator protocol starves a freeriding middleman.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import SeriesTable
+from repro.security.middleman import (
+    capacity_exchange_rates,
+    mixed_exchange_is_pareto_improvement,
+    run_middleman_attack,
+    table1_scenario,
+)
+
+from conftest import publish, run_once
+
+
+def _scenario_tables():
+    rates = capacity_exchange_rates()
+    table = SeriesTable(
+        "Table I / Fig.3: receive rates, pure pairwise vs mixed exchange",
+        "peer_index",
+        ["pure", "mixed"],
+    )
+    for index, peer in enumerate(table1_scenario()):
+        wanted = peer.wants
+        table.add_row(
+            float(index),
+            {
+                "pure": rates["pure"][peer.name][wanted],
+                "mixed": rates["mixed"][peer.name][wanted],
+            },
+        )
+    naked = run_middleman_attack(blocks=16, use_mediator=False)
+    mediated = run_middleman_attack(blocks=16, use_mediator=True)
+    return table, naked, mediated
+
+
+def test_table1_and_middleman(benchmark):
+    table, naked, mediated = run_once(benchmark, _scenario_tables)
+    publish(table, "table1")
+
+    # Fig. 3: the mixed exchange is a Pareto improvement.
+    assert mixed_exchange_is_pareto_improvement()
+    pure = table.column_values("pure")
+    mixed = table.column_values("mixed")
+    assert all(m >= p for m, p in zip(mixed, pure))
+    assert sum(mixed) > sum(pure)
+
+    # §III-B: the mediator flips the attack outcome.
+    assert naked.attack_succeeded
+    assert not mediated.attack_succeeded
+    assert mediated.endpoints_readable > 0

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs one paper figure's sweep exactly once (simulations
+are minutes-long workloads, not microseconds — ``pedantic`` with a
+single round) at the ``smoke`` scale by default.  Set
+``REPRO_BENCH_SCALE=small`` (or ``paper``) to run the benches at a
+bigger scale.
+
+Each bench prints the paper-style series table to stdout (visible with
+``pytest -s`` and captured in the bench logs) and asserts the
+*qualitative shape* the paper reports — who wins, and in which
+direction the curves move.
+"""
+
+from __future__ import annotations
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def publish(table, name: str) -> None:
+    """Print the series table and persist it under benchmarks/results/."""
+    rendered = table.render()
+    print()
+    print(rendered)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}_{SCALE}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rendered + "\n")

@@ -1,0 +1,80 @@
+"""repro — exchange-based incentive mechanisms for P2P file sharing.
+
+A faithful, laptop-scale reproduction of Anagnostakis & Greenwald,
+"Exchange-Based Incentive Mechanisms for Peer-to-Peer File Sharing"
+(ICDCS 2004 / UPenn TR MS-CIS-03-27): a discrete-event simulator of a
+slot-based file-sharing network in which peers give absolute priority to
+pairwise and n-way ring exchanges, plus the request-tree search, token
+validation, cheating analysis and every experiment of the paper's
+evaluation section.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+
+    result = run_simulation(SimulationConfig(exchange_mechanism="2-5-way"))
+    print(result.summary.speedup_sharers_vs_freeloaders)
+"""
+
+from repro.config import SimulationConfig
+from repro.context import SimContext
+from repro.core.policies import (
+    ExchangePolicy,
+    LongestFirstPolicy,
+    NoExchangePolicy,
+    PairwiseOnlyPolicy,
+    ShortestFirstPolicy,
+    parse_mechanism,
+)
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    MetricsError,
+    ProtocolError,
+    ReproError,
+    RingError,
+    SchedulingError,
+    SimulationError,
+    StorageError,
+    TokenValidationFailed,
+)
+from repro.metrics.records import (
+    DownloadRecord,
+    SessionRecord,
+    TerminationReason,
+    TrafficClass,
+)
+from repro.metrics.summary import SimulationSummary
+from repro.simulation import FileSharingSimulation, SimulationResult, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityError",
+    "ConfigError",
+    "DownloadRecord",
+    "ExchangePolicy",
+    "FileSharingSimulation",
+    "LongestFirstPolicy",
+    "MetricsError",
+    "NoExchangePolicy",
+    "PairwiseOnlyPolicy",
+    "ProtocolError",
+    "ReproError",
+    "RingError",
+    "SchedulingError",
+    "SessionRecord",
+    "ShortestFirstPolicy",
+    "SimContext",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "SimulationSummary",
+    "StorageError",
+    "TerminationReason",
+    "TokenValidationFailed",
+    "TrafficClass",
+    "__version__",
+    "parse_mechanism",
+    "run_simulation",
+]

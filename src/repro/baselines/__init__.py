@@ -1,0 +1,28 @@
+"""Baseline incentive mechanisms the paper compares against in §II.
+
+* :mod:`repro.baselines.credit` — the eMule-style pairwise credit
+  system: queue rank scored from waiting time times a credit modifier
+  derived from per-peer upload/download volumes.
+* :mod:`repro.baselines.participation` — the KaZaA-style self-reported
+  participation level, trivially subvertible because peers "can claim
+  anything with a simple modification to their software".
+
+Both plug into the upload scheduler through the ``scheduler_mode``
+configuration field ("fifo" | "credit" | "participation"); the exchange
+mechanism itself is orthogonal and usually disabled ("none") when
+benchmarking a baseline.
+"""
+
+from repro.baselines.credit import CreditLedger, credit_modifier, credit_queue_rank
+from repro.baselines.participation import (
+    ParticipationReporter,
+    participation_priority,
+)
+
+__all__ = [
+    "CreditLedger",
+    "ParticipationReporter",
+    "credit_modifier",
+    "credit_queue_rank",
+    "participation_priority",
+]

@@ -1,0 +1,65 @@
+"""KaZaA-style self-reported participation level (paper §I/§II).
+
+"Each peer announces its participation level, computed locally as a
+function of uptime, download and upload volume, and [peers] give
+priority to remote peers that claim high participation levels.
+However, this is easily subverted since peers can claim anything with
+a simple modification to their software."
+
+:class:`ParticipationReporter` computes the honest score; a cheater
+simply reports the maximum.  The scheduler then priority-orders by the
+*claimed* value — which is exactly the hole the bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+#: KaZaA clamps the reported level to [0, 1000]; we normalize to [0, 1].
+MAX_LEVEL = 1.0
+
+
+class ParticipationReporter:
+    """Tracks one peer's true volumes and reports a participation level."""
+
+    def __init__(self, owner_id: int, cheats: bool = False) -> None:
+        self.owner_id = owner_id
+        self.cheats = cheats
+        self.uploaded_kbit = 0.0
+        self.downloaded_kbit = 0.0
+
+    def record_uploaded(self, kbit: float) -> None:
+        if kbit < 0:
+            raise ProtocolError("upload volume cannot be negative")
+        self.uploaded_kbit += kbit
+
+    def record_downloaded(self, kbit: float) -> None:
+        if kbit < 0:
+            raise ProtocolError("download volume cannot be negative")
+        self.downloaded_kbit += kbit
+
+    @property
+    def honest_level(self) -> float:
+        """KaZaA's ratio-style level: upload / max(download, upload)."""
+        denominator = max(self.uploaded_kbit, self.downloaded_kbit, 1.0)
+        return min(MAX_LEVEL, self.uploaded_kbit / denominator)
+
+    @property
+    def claimed_level(self) -> float:
+        """What the peer tells the world — the cheat is one line of code."""
+        if self.cheats:
+            return MAX_LEVEL
+        return self.honest_level
+
+
+def participation_priority(claimed_level: float, waiting_seconds: float) -> float:
+    """Queue priority under the participation scheme (higher first).
+
+    Claimed level dominates; waiting time breaks ties so the queue still
+    drains.
+    """
+    if not 0.0 <= claimed_level <= MAX_LEVEL:
+        raise ProtocolError(f"claimed level out of range: {claimed_level}")
+    if waiting_seconds < 0:
+        raise ProtocolError(f"waiting time cannot be negative: {waiting_seconds}")
+    return claimed_level * 1_000_000.0 + waiting_seconds

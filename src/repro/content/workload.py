@@ -1,0 +1,109 @@
+"""Request workload generation.
+
+Each peer keeps up to ``max_pending`` outstanding object requests and
+issues a fresh one the moment a download completes (§IV-A).  A candidate
+request is a (category, object) draw; candidates already stored locally
+("cache hits") or already pending are discarded and the draw repeats
+until a miss is found — exactly the paper's procedure for avoiding
+misleading cache-hit effects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Set
+
+from repro.content.catalog import Catalog, ContentObject
+from repro.content.interests import InterestProfile
+from repro.content.popularity import PopularityCache
+from repro.errors import ConfigError
+
+#: Bound on miss-finding attempts.  A peer whose categories are almost
+#: fully cached may legitimately fail to find a miss; the generator then
+#: returns None and the caller retries on the next completion/scan.
+_MAX_MISS_ATTEMPTS = 200
+
+
+class RequestGenerator:
+    """Draws request candidates for one peer.
+
+    Parameters
+    ----------
+    is_known:
+        Predicate returning True for objects that must NOT be requested
+        (already stored locally or already pending).  Injected so the
+        generator stays decoupled from peer internals and is trivially
+        testable.
+    is_locatable:
+        Predicate returning True for objects the search mechanism can
+        currently locate (some provider shares them).  Users of real
+        file-sharing systems request out of search results, so draws
+        that search cannot resolve are skipped like cache hits are; the
+        paper's workload keeps ``max_pending`` downloads *active* per
+        peer, which presumes locatable targets.  Pass ``None`` to
+        disable the filter.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        profile: InterestProfile,
+        rand: random.Random,
+        object_factor: float,
+        is_known: Callable[[int], bool],
+        is_locatable: Optional[Callable[[int], bool]] = None,
+        popularity_cache: Optional[PopularityCache] = None,
+    ) -> None:
+        if object_factor < 0:
+            raise ConfigError(f"object_factor must be >= 0, got {object_factor}")
+        self._catalog = catalog
+        self._profile = profile
+        self._rand = rand
+        self._object_factor = object_factor
+        self._is_known = is_known
+        self._is_locatable = is_locatable
+        self._cache = popularity_cache or PopularityCache()
+        self.candidates_drawn = 0
+        self.hits_skipped = 0
+        self.unlocatable_skipped = 0
+
+    def draw_candidate(self) -> ContentObject:
+        """One raw (category, object) draw, hit or miss."""
+        category = self._catalog.category(self._profile.choose_category(self._rand))
+        distribution = self._cache.get(category.size, self._object_factor)
+        self.candidates_drawn += 1
+        return category.objects[distribution.sample_index(self._rand)]
+
+    def next_request(self) -> Optional[ContentObject]:
+        """Draw candidates until a locatable miss is found; None if none.
+
+        Returning ``None`` (rather than raising) keeps a fully-saturated
+        peer alive: it simply has no feasible request this instant.
+        """
+        for _ in range(_MAX_MISS_ATTEMPTS):
+            candidate = self.draw_candidate()
+            if self._is_known(candidate.object_id):
+                self.hits_skipped += 1
+                continue
+            if self._is_locatable is not None and not self._is_locatable(
+                candidate.object_id
+            ):
+                self.unlocatable_skipped += 1
+                continue
+            return candidate
+        return None
+
+
+def pending_and_stored_filter(
+    stored: Set[int], pending: Set[int]
+) -> Callable[[int], bool]:
+    """Convenience ``is_known`` predicate over two live sets.
+
+    The sets are captured by reference, so the predicate always sees the
+    peer's current state.
+    """
+
+    def is_known(object_id: int) -> bool:
+        return object_id in stored or object_id in pending
+
+    return is_known

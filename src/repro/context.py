@@ -1,0 +1,57 @@
+"""Shared simulation context.
+
+:class:`SimContext` bundles the services every component needs — the
+event engine, configuration, RNG, lookup oracle, metrics sink and the
+peer registry — so constructors take one argument instead of six and
+tests can assemble partial contexts cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.config import SimulationConfig
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.content.catalog import Catalog
+    from repro.network.lookup import LookupService
+    from repro.network.peer import Peer
+
+
+class SimContext:
+    """Service locator for one simulation run."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        engine: Optional[Engine] = None,
+        rng: Optional[RandomSource] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.config = config
+        self.engine = engine if engine is not None else Engine()
+        self.rng = rng if rng is not None else RandomSource(config.seed)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.peers: Dict[int, "Peer"] = {}
+        self.catalog: Optional["Catalog"] = None
+        self.lookup: Optional["LookupService"] = None
+        self._ring_counter = 0
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def peer(self, peer_id: int) -> "Peer":
+        """Peer lookup; a missing id is always a bug, so let KeyError fly."""
+        return self.peers[peer_id]
+
+    def next_ring_id(self) -> int:
+        """Monotonic ring identifiers for metrics and debugging."""
+        self._ring_counter += 1
+        return self._ring_counter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimContext(peers={len(self.peers)}, t={self.engine.now:.1f})"

@@ -1,0 +1,144 @@
+"""Exchange formation: search → token pass → commit.
+
+This module glues the ring search, the candidate-ordering policy and the
+token protocol into the three trigger points the paper describes:
+
+* before transmitting a request, the requester "inspects the entire
+  Request Tree to see if any peer provides o" (:func:`try_form_exchanges`
+  with ``only_object``);
+* on receipt of a request, the provider checks the incoming tree "for
+  any object that P still wants" (``entries=[entry]``);
+* and peers "regularly examine" their IRQs (the periodic scan calls the
+  unrestricted form).
+
+Commit is atomic within one simulation event: validation and slot
+commitment happen back-to-back with no interleaving, which plays the
+role of the token's mutual-agreement round.  Competing ring proposals
+are serialized by the event loop, exactly like the paper's observation
+that "only one will be initiated successfully".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set
+
+from repro.core.ring import ExchangeRing, edges_from_candidate
+from repro.core.ring_search import find_candidates
+from repro.core.scheduler import preempt_for_exchange
+from repro.core.token_protocol import validate_ring
+from repro.errors import TokenValidationFailed
+from repro.metrics.records import TerminationReason
+from repro.network.transfer import Transfer
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.irq import RequestEntry
+    from repro.core.ring_search import RingCandidate
+    from repro.network.peer import Peer
+
+
+def open_wants(peer: "Peer", only_object: Optional[int] = None) -> Dict[int, Set[int]]:
+    """The peer's exchange-eligible wants: object → live provider set.
+
+    A want is eligible while the download is open, has unassigned blocks
+    to fetch, and is not already served by an exchange (the paper's
+    one-exchange-per-request rule).
+    """
+    lookup = peer.ctx.lookup
+    wants: Dict[int, Set[int]] = {}
+    for object_id, download in peer.pending.items():
+        if only_object is not None and object_id != only_object:
+            continue
+        if download.completed or download.unassigned_blocks <= 0:
+            continue
+        if download.has_exchange_transfer:
+            continue
+        providers = lookup.providers(object_id, exclude=peer.peer_id)
+        if providers:
+            wants[object_id] = providers
+    return wants
+
+
+def try_form_exchanges(
+    peer: "Peer",
+    only_object: Optional[int] = None,
+    entries: Optional[Iterable["RequestEntry"]] = None,
+) -> int:
+    """Search for feasible rings through this peer and commit them.
+
+    Returns the number of rings formed.  Candidates are re-validated
+    just before each commit because an earlier commit in the same pass
+    may have consumed a want or a slot.
+    """
+    policy = peer.policy
+    if not policy.enables_exchanges or not peer.shares:
+        return 0
+    wants = open_wants(peer, only_object=only_object)
+    if not wants:
+        return 0
+    candidates = find_candidates(
+        peer.peer_id, peer.irq, wants, policy.max_ring, entries=entries
+    )
+    if not candidates:
+        return 0
+    metrics = peer.ctx.metrics
+    formed = 0
+    for candidate in policy.order(candidates):
+        download = peer.pending.get(candidate.want_object_id)
+        if (
+            download is None
+            or download.completed
+            or download.unassigned_blocks <= 0
+            or download.has_exchange_transfer
+        ):
+            continue  # consumed by an earlier commit in this pass
+        if not candidate.entry.active:
+            continue  # the path's IRQ entry was served or cancelled
+        edges = edges_from_candidate(peer.peer_id, candidate)
+        metrics.count("ring.attempt")
+        try:
+            validate_ring(peer.ctx, edges)
+        except TokenValidationFailed as veto:
+            metrics.count(f"ring.reject.{veto.reason}")
+            continue
+        commit_ring(peer, edges)
+        metrics.count("ring.formed")
+        metrics.count(f"ring.formed.size{len(edges)}")
+        formed += 1
+    return formed
+
+
+def commit_ring(peer: "Peer", edges) -> ExchangeRing:
+    """Commit a validated ring: replace/preempt slots and start transfers.
+
+    Must run in the same event as :func:`~repro.core.token_protocol.validate_ring`
+    (no interleaving), which is what makes the per-edge bookkeeping
+    below safe without re-checking capacity.
+    """
+    ctx = peer.ctx
+    ring = ExchangeRing(
+        ring_id=ctx.next_ring_id(),
+        edges=list(edges),
+        break_policy=ctx.config.ring_break_policy,
+    )
+    for edge in ring.edges:
+        provider = ctx.peer(edge.provider_id)
+        requester = ctx.peer(edge.requester_id)
+        download = requester.pending[edge.object_id]
+        existing = download.transfer_from(edge.provider_id)
+        if existing is not None:
+            # The same edge was being served as a normal transfer: the
+            # session is "canceled and replaced" by the exchange (§IV-B).
+            existing.terminate(TerminationReason.REPLACED_BY_EXCHANGE, requeue=False)
+        if provider.upload_pool.free <= 0:
+            preempt_for_exchange(provider)
+        transfer = Transfer(ctx, provider=provider, requester=requester,
+                            download=download, ring=ring)
+        entry = provider.irq.get(edge.requester_id, edge.object_id)
+        if entry is not None and entry.queued:
+            # The registered request is now satisfied by the exchange; it
+            # stays registered (and returns to the queue if the ring breaks).
+            transfer.bind_entry(entry)
+        ring.attach(transfer)
+        transfer.start()
+    ring.activate(ctx.now)
+    return ring

@@ -1,0 +1,254 @@
+"""Incoming request queue (IRQ) with a tree-occurrence index.
+
+Every peer keeps an IRQ "where remote peers register their interest for
+a local file" (paper §III).  Entries are FIFO for non-exchange service
+and carry the requester's frozen request-tree snapshot for ring search.
+
+To make ring search cheap, the queue maintains an inverted index from
+*every peer appearing in any attached tree* to the entries (and paths)
+where it appears.  Ring search then reduces to one set intersection per
+wanted object.  Removal marks entries inactive; the index compacts
+lazily when dead entries accumulate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.request_tree import Path, RequestTreeNode, occurrence_index
+from repro.errors import ProtocolError
+
+
+class RequestEntry:
+    """One registered request: (requester, object) plus its tree snapshot.
+
+    A request stays registered for its whole life — *queued* while
+    waiting and *attached* to the transfer currently satisfying it.  The
+    paper's request graph G consists of live requests regardless of
+    service state: a request being served by a normal transfer is still
+    a usable ring edge (the ring "cancels and replaces" the session),
+    so entries must not vanish from the searchable graph at serve time.
+    """
+
+    __slots__ = (
+        "requester_id",
+        "object_id",
+        "arrival_time",
+        "tree",
+        "active",
+        "transfer",
+        "_occ",
+    )
+
+    def __init__(
+        self,
+        requester_id: int,
+        object_id: int,
+        arrival_time: float,
+        tree: Optional[RequestTreeNode] = None,
+    ) -> None:
+        self.requester_id = requester_id
+        self.object_id = object_id
+        self.arrival_time = arrival_time
+        self.tree = tree
+        self.active = True
+        #: The transfer currently serving this request (None = queued).
+        self.transfer = None
+        self._occ: Optional[Dict[int, List[Path]]] = None
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.requester_id, self.object_id)
+
+    @property
+    def queued(self) -> bool:
+        """Waiting for service (live and unattached)."""
+        return self.active and self.transfer is None
+
+    def occurrences(self) -> Dict[int, List[Path]]:
+        """peer_id → paths (cached until the tree is refreshed)."""
+        if self._occ is None:
+            self._occ = occurrence_index(self.requester_id, self.object_id, self.tree)
+        return self._occ
+
+    def set_tree(self, tree: Optional[RequestTreeNode]) -> None:
+        """Replace the attached snapshot (invalidates the path cache)."""
+        self.tree = tree
+        self._occ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "dead"
+        return (
+            f"RequestEntry(req={self.requester_id}, obj={self.object_id}, "
+            f"t={self.arrival_time:.1f}, {state})"
+        )
+
+
+class IncomingRequestQueue:
+    """Bounded FIFO of :class:`RequestEntry` with per-peer tree index."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ProtocolError(f"IRQ capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], RequestEntry]" = OrderedDict()
+        self._peer_index: Dict[int, List[RequestEntry]] = {}
+        self._dead_in_index = 0
+        self.rejected_full = 0
+        self.rejected_duplicate = 0
+        #: Bumped on every content change; snapshot caches key off it.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._entries
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, entry: RequestEntry) -> bool:
+        """Register a request; False if the queue is full or a duplicate.
+
+        The paper allows "only one registered request on a given peer
+        for a given object", so duplicates are rejected, not replaced.
+        """
+        if entry.key in self._entries:
+            self.rejected_duplicate += 1
+            return False
+        if len(self._entries) >= self.capacity:
+            self.rejected_full += 1
+            return False
+        self._entries[entry.key] = entry
+        for peer_id in entry.occurrences():
+            self._peer_index.setdefault(peer_id, []).append(entry)
+        self.version += 1
+        return True
+
+    def remove(self, requester_id: int, object_id: int) -> Optional[RequestEntry]:
+        """Remove (deactivate) an entry; None if absent."""
+        entry = self._entries.pop((requester_id, object_id), None)
+        if entry is None:
+            return None
+        entry.active = False
+        self._dead_in_index += len(entry.occurrences())
+        self.version += 1
+        self._maybe_compact()
+        return entry
+
+    def pop_entry(self, entry: RequestEntry) -> None:
+        """Remove a specific entry object (used when serving it)."""
+        current = self._entries.get(entry.key)
+        if current is not entry:
+            raise ProtocolError(f"entry {entry!r} is not queued here")
+        self.remove(entry.requester_id, entry.object_id)
+
+    def refresh_tree(self, entry: RequestEntry, tree) -> None:
+        """Replace an entry's snapshot with a fresher one.
+
+        Models the paper's incremental request-tree updates (§V) at
+        scan granularity.  Index lists for peers that vanished from the
+        tree become harmless garbage (``paths_to`` re-reads the entry's
+        occurrence map) and are purged by the next compaction.
+        """
+        if self._entries.get(entry.key) is not entry:
+            raise ProtocolError(f"cannot refresh unknown entry {entry!r}")
+        old_peers = set(entry.occurrences())
+        entry.set_tree(tree)
+        new_peers = set(entry.occurrences())
+        for peer_id in new_peers - old_peers:
+            self._peer_index.setdefault(peer_id, []).append(entry)
+        self._dead_in_index += len(old_peers - new_peers)
+        self.version += 1
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, requester_id: int, object_id: int) -> Optional[RequestEntry]:
+        return self._entries.get((requester_id, object_id))
+
+    def active_entries(self) -> Iterator[RequestEntry]:
+        """FIFO iteration over live entries (snapshot; safe to mutate)."""
+        return iter(list(self._entries.values()))
+
+    def queued_entries(self) -> Iterator[RequestEntry]:
+        """FIFO iteration over entries awaiting service."""
+        return iter([e for e in self._entries.values() if e.transfer is None])
+
+    def tree_entries(self) -> Iterator[RequestEntry]:
+        """Entries visible as request-graph edges.
+
+        Exchange-served requests are excluded: the paper allows one
+        exchange per registered request, so such an edge can never be
+        recruited into another ring.
+        """
+        return iter(
+            [
+                e
+                for e in self._entries.values()
+                if e.transfer is None or not e.transfer.is_exchange
+            ]
+        )
+
+    def indexed_peers(self) -> Set[int]:
+        """Peers appearing in any attached tree (may include stale keys)."""
+        return set(self._peer_index.keys())
+
+    def index_view(self) -> Dict[int, List[RequestEntry]]:
+        """The raw peer index (read-only by convention; used for set ops)."""
+        return self._peer_index
+
+    def paths_to(self, peer_id: int) -> Iterator[Tuple[RequestEntry, Path]]:
+        """(entry, path) pairs for usable occurrences of ``peer_id``.
+
+        Exchange-served entries are skipped — their request edge is
+        already committed to a ring and cannot anchor another one.
+        """
+        entries = self._peer_index.get(peer_id)
+        if not entries:
+            return
+        for entry in entries:
+            if not entry.active:
+                continue
+            if entry.transfer is not None and entry.transfer.is_exchange:
+                continue
+            for path in entry.occurrences().get(peer_id, ()):
+                yield entry, path
+
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Rebuild the index when dead occurrences dominate.
+
+        Amortized: a rebuild costs O(live occurrences) and happens at
+        most once per max(64, live) removals; an emptied queue clears
+        its index immediately so idle peers hold no garbage.
+        """
+        if self._dead_in_index <= 0:
+            return
+        if self._entries and (
+            self._dead_in_index < 64 or self._dead_in_index < len(self._entries)
+        ):
+            return
+        new_index: Dict[int, List[RequestEntry]] = {}
+        for entry in self._entries.values():
+            for peer_id in entry.occurrences():
+                new_index.setdefault(peer_id, []).append(entry)
+        self._peer_index = new_index
+        self._dead_in_index = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IncomingRequestQueue({len(self._entries)}/{self.capacity})"

@@ -1,0 +1,218 @@
+"""Request trees (paper §III-A).
+
+A peer's request tree has the peer as implicit root and, for each entry
+in its incoming request queue (IRQ), a child labelled with the requester
+and the requested object; beneath each child hangs the (pruned) request
+tree that accompanied that request.  An edge therefore reads "child
+requested *object* from parent", and a path root→X of depth *d* closes
+into a feasible *d*-way exchange ring whenever X owns something the root
+wants.
+
+Trees travel with requests as **frozen snapshots**: when peer R sends a
+request it attaches its current tree pruned to ``max_ring - 1`` levels,
+so that placed under the recipient's root the composite never exceeds
+``max_ring`` levels — the paper's empirical cut-off ("limit the search
+for cycles to chains of up to 5 predecessors").
+
+A configurable node budget bounds snapshot size (the paper's §V concedes
+the full tree "may be prohibitive" and proposes Bloom filters, which we
+implement separately in :mod:`repro.core.bloom_tree`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.irq import IncomingRequestQueue
+
+#: One step of a root→node path: (peer_id, object the peer requested
+#: from its path predecessor).
+PathStep = Tuple[int, int]
+Path = Tuple[PathStep, ...]
+
+
+class RequestTreeNode:
+    """A node of a request tree.
+
+    ``object_id`` is the object this peer requested from its parent;
+    it is ``None`` only for the implicit root.
+    """
+
+    __slots__ = ("peer_id", "object_id", "children")
+
+    def __init__(
+        self,
+        peer_id: int,
+        object_id: Optional[int],
+        children: Tuple["RequestTreeNode", ...] = (),
+    ) -> None:
+        self.peer_id = peer_id
+        self.object_id = object_id
+        self.children = children
+
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Total nodes in this subtree, root included."""
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def depth(self) -> int:
+        """Levels in this subtree (a lone root has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def iter_nodes(self) -> Iterator["RequestTreeNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    # ------------------------------------------------------------------
+    # (de)serialization — used by tests, debugging and the examples
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "peer": self.peer_id,
+            "object": self.object_id,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestTreeNode":
+        children = tuple(cls.from_dict(child) for child in data.get("children", ()))
+        return cls(data["peer"], data.get("object"), children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestTreeNode(peer={self.peer_id}, object={self.object_id}, "
+            f"children={len(self.children)})"
+        )
+
+
+def prune(
+    node: RequestTreeNode, levels: int, budget: Optional[List[int]] = None
+) -> Optional[RequestTreeNode]:
+    """Copy ``node`` limited to ``levels`` levels and a shared node budget.
+
+    ``budget`` is a single-element mutable list so recursion shares it;
+    pass None for unbounded.  Returns None when levels or budget hit 0.
+    """
+    if levels <= 0:
+        return None
+    if budget is not None:
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+    children: List[RequestTreeNode] = []
+    for child in node.children:
+        copied = prune(child, levels - 1, budget)
+        if copied is not None:
+            children.append(copied)
+    return RequestTreeNode(node.peer_id, node.object_id, tuple(children))
+
+
+def build_snapshot(
+    peer_id: int,
+    irq: "IncomingRequestQueue",
+    levels: int,
+    node_budget: int,
+) -> Optional[RequestTreeNode]:
+    """The tree a peer attaches to an outgoing request.
+
+    ``levels`` counts node levels including this peer as the (snapshot)
+    root; with the paper's max ring of 5 the snapshot carries
+    ``levels = 4``.  Returns None when ``levels <= 0`` (no-exchange or
+    ring-size-1 configurations attach nothing).
+    """
+    if levels <= 0:
+        return None
+    budget = [max(0, node_budget - 1)]  # root consumes one slot
+    children: List[RequestTreeNode] = []
+    if levels > 1:
+        for entry in irq.tree_entries():
+            if budget[0] <= 0:
+                break
+            budget[0] -= 1  # the entry's own node
+            child_children: Tuple[RequestTreeNode, ...] = ()
+            if entry.tree is not None and levels > 2:
+                grandchildren: List[RequestTreeNode] = []
+                for sub in entry.tree.children:
+                    copied = prune(sub, levels - 2, budget)
+                    if copied is not None:
+                        grandchildren.append(copied)
+                child_children = tuple(grandchildren)
+            children.append(
+                RequestTreeNode(entry.requester_id, entry.object_id, child_children)
+            )
+    return RequestTreeNode(peer_id, None, tuple(children))
+
+
+def iter_occurrences(
+    requester_id: int, object_id: int, tree: Optional[RequestTreeNode]
+) -> Iterator[Tuple[int, Path]]:
+    """All (peer, path) occurrences contributed by one IRQ entry.
+
+    The entry itself is the first occurrence (the direct requester at
+    composite depth 2, i.e. a pairwise candidate with path length 1);
+    deeper occurrences come from the attached snapshot.  Paths with
+    repeated peers are *not* yielded — a ring must consist of distinct
+    peers, and filtering here keeps the per-entry index clean.
+    """
+    root_step: PathStep = (requester_id, object_id)
+    yield requester_id, (root_step,)
+    if tree is None:
+        return
+
+    def walk(
+        node: RequestTreeNode, path: Tuple[PathStep, ...], seen: frozenset
+    ) -> Iterator[Tuple[int, Path]]:
+        for child in node.children:
+            if child.object_id is None:
+                continue  # malformed: non-root without an edge label
+            if child.peer_id in seen:
+                continue
+            step: PathStep = (child.peer_id, child.object_id)
+            child_path = path + (step,)
+            yield child.peer_id, child_path
+            yield from walk(child, child_path, seen | {child.peer_id})
+
+    yield from walk(tree, (root_step,), frozenset((requester_id,)))
+
+
+def occurrence_index(
+    requester_id: int, object_id: int, tree: Optional[RequestTreeNode]
+) -> dict:
+    """``{peer_id: [path, ...]}`` over one entry's occurrences.
+
+    Iterative implementation (this runs on every tree refresh, which is
+    the hottest loop of a busy simulation).  Paths are short (max ring
+    size), so duplicate-peer filtering scans the path instead of
+    carrying a set.
+    """
+    root_step: PathStep = (requester_id, object_id)
+    index: dict = {requester_id: [(root_step,)]}
+    if tree is None:
+        return index
+    stack: List[Tuple[RequestTreeNode, Path]] = [(tree, (root_step,))]
+    while stack:
+        node, path = stack.pop()
+        for child in node.children:
+            if child.object_id is None:
+                continue  # malformed: non-root without an edge label
+            peer_id = child.peer_id
+            duplicate = False
+            for step_peer, _step_object in path:
+                if step_peer == peer_id:
+                    duplicate = True
+                    break
+            if duplicate:
+                continue
+            child_path = path + ((peer_id, child.object_id),)
+            bucket = index.get(peer_id)
+            if bucket is None:
+                index[peer_id] = [child_path]
+            else:
+                bucket.append(child_path)
+            if child.children:
+                stack.append((child, child_path))
+    return index

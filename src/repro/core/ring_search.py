@@ -1,0 +1,127 @@
+"""Ring search: finding feasible n-way exchanges.
+
+"Let G be the directed graph whose vertices are nodes in the
+peer-to-peer system, and whose labeled edges represent requests ... any
+cycle of length n in G represents a feasible n-way exchange" (§III-A).
+
+A peer P searches its *composite request tree* — its IRQ entries plus
+the tree snapshots they carry — for any peer X that provides an object P
+wants.  X at composite depth *d* (root = depth 1) closes a ring of *d*
+peers.  Ownership knowledge comes from provider lists (the paper: P
+"can use the original provider list to compute a cycle containing a
+peer Pj even if it did not originally transmit a request to Pj").
+
+The search here is a set intersection per wanted object, against the
+IRQ's inverted peer index, so its cost is proportional to the number of
+*hits*, not the tree size.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+
+from repro.core.request_tree import Path
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.irq import IncomingRequestQueue, RequestEntry
+
+
+class RingCandidate:
+    """A feasible ring: a tree path plus the closing wanted object.
+
+    ``path[i]`` is ``(peer_id, object_id)`` — the object that peer
+    requested from its predecessor (the search root for ``i == 0``).
+    The ring has ``len(path) + 1`` members: the searching peer plus the
+    path peers; the last path peer provides ``want_object_id`` back to
+    the searcher.
+    """
+
+    __slots__ = ("want_object_id", "path", "entry")
+
+    def __init__(self, want_object_id: int, path: Path, entry: "RequestEntry") -> None:
+        self.want_object_id = want_object_id
+        self.path = path
+        self.entry = entry  # the IRQ entry the path came from (liveness check)
+
+    @property
+    def size(self) -> int:
+        return len(self.path) + 1
+
+    @property
+    def closing_peer_id(self) -> int:
+        """The peer that will provide the wanted object."""
+        return self.path[-1][0]
+
+    def peers(self) -> List[int]:
+        return [step[0] for step in self.path]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RingCandidate(size={self.size}, want={self.want_object_id}, "
+            f"via={self.peers()})"
+        )
+
+
+def path_is_usable(path: Path, searcher_id: int, max_ring: int) -> bool:
+    """Reject paths that cannot close into a valid ring for ``searcher_id``.
+
+    Paths with duplicate peers were already filtered at index-build
+    time; here we additionally reject paths through the searcher itself
+    (a ring visits distinct peers) and paths too long for the policy.
+    """
+    if len(path) + 1 > max_ring:
+        return False
+    for peer_id, _object_id in path:
+        if peer_id == searcher_id:
+            return False
+    return True
+
+
+def find_candidates(
+    searcher_id: int,
+    irq: "IncomingRequestQueue",
+    wants: Dict[int, Set[int]],
+    max_ring: int,
+    entries: Optional[Iterable["RequestEntry"]] = None,
+) -> List[RingCandidate]:
+    """Enumerate ring candidates for a searching peer.
+
+    Parameters
+    ----------
+    wants:
+        ``{object_id: provider_peer_ids}`` for the searcher's open
+        requests (provider sets from lookup; may be shared live sets —
+        they are only read).
+    entries:
+        Restrict the search to these IRQ entries (receive-side check of
+        one incoming request); None searches the whole queue.
+
+    Returns candidates in deterministic discovery order (objects sorted,
+    providers sorted, FIFO entries); the policy layer re-orders them.
+    """
+    if max_ring < 2 or not wants or irq.is_empty:
+        return []
+    candidates: List[RingCandidate] = []
+    if entries is None:
+        index = irq.index_view()
+        index_keys = index.keys()
+        for object_id in sorted(wants):
+            providers = wants[object_id]
+            hits = providers & index_keys
+            for provider_id in sorted(hits):
+                for entry, path in irq.paths_to(provider_id):
+                    if path_is_usable(path, searcher_id, max_ring):
+                        candidates.append(RingCandidate(object_id, path, entry))
+    else:
+        for entry in entries:
+            if not entry.active:
+                continue
+            occurrences = entry.occurrences()
+            occ_keys = occurrences.keys()
+            for object_id in sorted(wants):
+                providers = wants[object_id]
+                for provider_id in sorted(providers & occ_keys):
+                    for path in occurrences[provider_id]:
+                        if path_is_usable(path, searcher_id, max_ring):
+                            candidates.append(RingCandidate(object_id, path, entry))
+    return candidates

@@ -1,0 +1,140 @@
+"""Upload-slot scheduling with exchange priority (paper §III).
+
+"A transfer to satisfy a request is initiated if two conditions are
+met": capacity on both sides, and the transfer being an exchange — or no
+feasible exchange existing in the IRQ.  The exchange manager runs first
+on every scheduling pass, so by the time :func:`serve_pending` is
+invoked only the spare slots remain, which is exactly the paper's rule:
+"Non-exchange transfers will only be served if no exchange is possible
+and the peer has a free upload slot, although these slots will be
+reclaimed as soon as another exchange becomes possible."
+
+Non-exchange service is FIFO over the IRQ; entries that can no longer be
+served (requester satisfied elsewhere, object evicted) are dropped as
+they reach the head.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import RingError
+from repro.metrics.records import TerminationReason
+from repro.network.transfer import Transfer
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.irq import RequestEntry
+    from repro.network.peer import Peer
+
+
+def serve_pending(peer: "Peer") -> int:
+    """Start normal transfers on spare upload slots; returns how many.
+
+    Entries stay registered while served (they remain ring-search
+    edges); serving attaches the entry to the transfer so the FIFO scan
+    skips it.
+    """
+    if not peer.shares or peer.upload_pool.free <= 0 or peer.irq.is_empty:
+        return 0
+    started = 0
+    ctx = peer.ctx
+    for entry in _service_order(peer):
+        if peer.upload_pool.free <= 0:
+            break
+        if not entry.queued:  # consumed earlier in this very pass
+            continue
+        requester = ctx.peer(entry.requester_id)
+        download = requester.pending.get(entry.object_id)
+        if download is None or download.completed:
+            # Stale: the requester got the object elsewhere (or gave up).
+            peer.irq.remove(entry.requester_id, entry.object_id)
+            continue
+        if peer.available_blocks(entry.object_id) <= 0:
+            # We evicted the object since the request arrived; the
+            # requester must find another provider.
+            peer.irq.remove(entry.requester_id, entry.object_id)
+            download.registered_at.discard(peer.peer_id)
+            continue
+        if download.transfer_from(peer.peer_id) is not None:
+            # Already serving this object to this requester through a
+            # ring's closing edge; the entry is redundant.
+            peer.irq.remove(entry.requester_id, entry.object_id)
+            download.registered_at.discard(peer.peer_id)
+            continue
+        if download.unassigned_blocks <= 0:
+            # Fully assigned to other sources right now; keep the entry —
+            # an in-flight source may fail and return blocks.
+            continue
+        if not requester.online or requester.download_pool.free <= 0:
+            continue
+        transfer = Transfer(ctx, provider=peer, requester=requester, download=download)
+        transfer.bind_entry(entry)
+        transfer.start()
+        started += 1
+    return started
+
+
+def _service_order(peer: "Peer"):
+    """Queued entries in the order the scheduler_mode dictates.
+
+    * ``fifo`` — arrival order (the paper's model);
+    * ``credit`` — eMule queue rank (waiting time x credit modifier);
+    * ``participation`` — KaZaA claimed level, waiting time as tiebreak.
+    """
+    mode = peer.ctx.config.scheduler_mode
+    entries = list(peer.irq.queued_entries())
+    if mode == "fifo" or len(entries) <= 1:
+        return entries
+    now = peer.ctx.now
+    if mode == "credit":
+        # One second of base waiting keeps the rank multiplicative even
+        # for requests scheduled the instant they arrive (eMule gives
+        # every queued request a base score for the same reason).
+        entries.sort(
+            key=lambda e: -peer.credit.rank(e.requester_id, now - e.arrival_time + 1.0)
+        )
+        return entries
+    # participation
+    from repro.baselines.participation import participation_priority
+
+    def priority(entry):
+        requester = peer.ctx.peer(entry.requester_id)
+        return participation_priority(
+            requester.participation.claimed_level, now - entry.arrival_time
+        )
+
+    entries.sort(key=lambda e: -priority(e))
+    return entries
+
+
+def pick_preemption_victim(peer: "Peer") -> Optional["Transfer"]:
+    """The non-exchange upload to reclaim for a new exchange.
+
+    Picks the most recently started normal upload (LIFO) so the transfer
+    that has waited longest keeps its slot; delivered blocks are kept by
+    the requester either way, so no work is destroyed.
+    """
+    victim: Optional[Transfer] = None
+    for transfer in peer.active_uploads():
+        if transfer.is_exchange:
+            continue
+        if victim is None or transfer.session_start > victim.session_start:
+            victim = transfer
+    return victim
+
+
+def preempt_for_exchange(peer: "Peer") -> None:
+    """Free one upload slot by preempting a normal transfer.
+
+    Callers must have validated that a non-exchange upload exists (the
+    token pass guarantees ``exchange_upload_count < total``); failure
+    here is therefore an invariant violation, not a model outcome.
+    """
+    victim = pick_preemption_victim(peer)
+    if victim is None:
+        raise RingError(
+            f"peer {peer.peer_id} has no preemptible upload "
+            f"({peer.upload_pool.in_use}/{peer.upload_pool.total} slots, "
+            f"{peer.exchange_upload_count} exchange)"
+        )
+    victim.terminate(TerminationReason.PREEMPTED)

@@ -1,0 +1,72 @@
+"""Ring-initiation token validation (paper §III-A).
+
+"In practice, P must circulate a token through the proposed ring to
+determine whether everyone is still willing to serve."  Request trees
+are frozen snapshots, so by the time a ring is proposed some members may
+have gone offline, completed their download, evicted the object, or
+committed their slots to a competing ring ("it is possible that several
+peers along the intended cycle will attempt to create the same ring
+roughly simultaneously").
+
+The simulator executes the token pass instantaneously (the paper's own
+simulation makes the same simplification; §V) but checks the same
+predicates a real token pass would, failing with a reason string that
+metrics aggregate — the reject mix is itself an interesting measurement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.ring import RingEdge
+from repro.errors import TokenValidationFailed
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.context import SimContext
+
+
+#: Reasons a token pass can fail; kept as constants so metrics keys are stable.
+REASON_OFFLINE = "member-offline"
+REASON_NOT_SHARING = "member-not-sharing"
+REASON_OBJECT_GONE = "object-gone"
+REASON_NO_LONGER_WANTED = "no-longer-wanted"
+REASON_ALREADY_EXCHANGING = "already-exchanging"
+REASON_NO_UPLOAD_SLOT = "no-upload-slot"
+REASON_NO_DOWNLOAD_SLOT = "no-download-slot"
+
+
+def validate_ring(ctx: "SimContext", edges: Iterable[RingEdge]) -> None:
+    """Run the token pass; raises :class:`TokenValidationFailed` on veto.
+
+    For every edge the *provider* must be online, sharing, hold the
+    object (or enough of it, under the partial-serving extension) and
+    have an upload slot not already committed to another exchange
+    (non-exchange uploads are preemptible, so they do not count
+    against availability).  The *requester* must still want the object
+    — an open, not-yet-exchange-served download with unassigned blocks
+    — and be able to receive it.
+    """
+    for edge in edges:
+        provider = ctx.peer(edge.provider_id)
+        requester = ctx.peer(edge.requester_id)
+
+        if not provider.online:
+            raise TokenValidationFailed(REASON_OFFLINE, provider.peer_id)
+        if not provider.behavior.shares:
+            raise TokenValidationFailed(REASON_NOT_SHARING, provider.peer_id)
+        if provider.available_blocks(edge.object_id) <= 0:
+            raise TokenValidationFailed(REASON_OBJECT_GONE, provider.peer_id)
+        if provider.exchange_upload_count >= provider.upload_pool.total:
+            raise TokenValidationFailed(REASON_NO_UPLOAD_SLOT, provider.peer_id)
+
+        if not requester.online:
+            raise TokenValidationFailed(REASON_OFFLINE, requester.peer_id)
+        download = requester.pending.get(edge.object_id)
+        if download is None or download.completed or download.unassigned_blocks <= 0:
+            raise TokenValidationFailed(REASON_NO_LONGER_WANTED, requester.peer_id)
+        if download.has_exchange_transfer:
+            # Paper: one registered request can join at most one exchange.
+            raise TokenValidationFailed(REASON_ALREADY_EXCHANGING, requester.peer_id)
+        replaces_existing = download.transfer_from(edge.provider_id) is not None
+        if requester.download_pool.free <= 0 and not replaces_existing:
+            raise TokenValidationFailed(REASON_NO_DOWNLOAD_SLOT, requester.peer_id)

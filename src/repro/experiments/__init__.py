@@ -1,0 +1,15 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each figure of the paper's evaluation (§IV-B) has a function in
+:mod:`repro.experiments.figures` that builds the parameter sweep from a
+scale preset, runs the simulations and returns a
+:class:`~repro.experiments.report.SeriesTable` shaped like the paper's
+plot.  The ``repro-experiments`` CLI (:mod:`repro.experiments.runner`)
+runs them from the command line; the benchmarks wrap them with
+qualitative shape assertions.
+"""
+
+from repro.experiments.presets import SCALES, preset
+from repro.experiments.report import SeriesTable
+
+__all__ = ["SCALES", "SeriesTable", "preset"]

@@ -1,0 +1,355 @@
+"""Per-figure experiment definitions (paper §IV-B, Figs. 4-12).
+
+Every function runs the sweep behind one figure of the paper and
+returns a :class:`~repro.experiments.report.SeriesTable` whose columns
+mirror the figure's legend.  Mean download times are in minutes,
+volumes in MB, waiting times in minutes — the paper's units.
+
+The ``scale`` argument selects a preset from
+:mod:`repro.experiments.presets`; ``seed`` feeds the deterministic RNG
+so every run is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.experiments.presets import preset
+from repro.experiments.report import SeriesTable
+from repro.metrics.cdf import EmpiricalCDF
+from repro.simulation import SimulationResult, run_simulation
+
+#: The paper's four mechanisms, in its legend order.
+MECHANISMS = ("pairwise", "5-2-way", "2-5-way")
+CDF_CLASSES = ("non-exchange", "pairwise", "3-way", "4-way", "5-way")
+
+
+def _mechanism_columns() -> List[str]:
+    columns: List[str] = []
+    for mechanism in MECHANISMS:
+        columns.append(f"{mechanism}/sharing")
+        columns.append(f"{mechanism}/non-sharing")
+    columns.append("no-exchange")
+    return columns
+
+
+def _download_time_row(results: Dict[str, SimulationResult]) -> Dict[str, Optional[float]]:
+    """Extract the per-mechanism sharing/non-sharing download times."""
+    row: Dict[str, Optional[float]] = {}
+    for mechanism in MECHANISMS:
+        summary = results[mechanism].summary
+        row[f"{mechanism}/sharing"] = summary.mean_download_time_sharers_min
+        row[f"{mechanism}/non-sharing"] = summary.mean_download_time_freeloaders_min
+    row["no-exchange"] = results["none"].summary.mean_download_time_all_min
+    return row
+
+
+def _run_mechanism_grid(
+    config_for: Callable[[str], SimulationConfig]
+) -> Dict[str, SimulationResult]:
+    return {
+        mechanism: run_simulation(config_for(mechanism))
+        for mechanism in MECHANISMS + ("none",)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 / Fig. 5 — sweep over upload capacity
+# ---------------------------------------------------------------------------
+
+#: The paper sweeps 40..140 kbit/s; smoke uses a 3-point subset for speed.
+CAPACITY_GRID = {"paper": (140.0, 120.0, 100.0, 80.0, 60.0, 40.0),
+                 "small": (120.0, 80.0, 40.0),
+                 "smoke": (120.0, 80.0, 40.0)}
+
+
+def fig4_download_time_vs_capacity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 4: mean download time vs upload capacity, per mechanism/class."""
+    table = SeriesTable(
+        "Fig.4 mean download time (min) vs upload capacity (kbit/s)",
+        "upload_kbit",
+        _mechanism_columns(),
+    )
+    for capacity in CAPACITY_GRID[scale]:
+        results = _run_mechanism_grid(
+            lambda mechanism: preset(
+                scale,
+                exchange_mechanism=mechanism,
+                upload_capacity_kbit=capacity,
+                seed=seed,
+            )
+        )
+        table.add_row(capacity, _download_time_row(results))
+    return table
+
+
+def fig5_exchange_fraction_vs_capacity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 5: fraction of exchange sessions vs upload capacity."""
+    table = SeriesTable(
+        "Fig.5 fraction of exchange sessions vs upload capacity (kbit/s)",
+        "upload_kbit",
+        list(MECHANISMS),
+    )
+    for capacity in CAPACITY_GRID[scale]:
+        row: Dict[str, Optional[float]] = {}
+        for mechanism in MECHANISMS:
+            result = run_simulation(
+                preset(
+                    scale,
+                    exchange_mechanism=mechanism,
+                    upload_capacity_kbit=capacity,
+                    seed=seed,
+                )
+            )
+            row[mechanism] = result.summary.exchange_session_fraction
+        table.add_row(capacity, row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — sweep over the maximum ring size N
+# ---------------------------------------------------------------------------
+
+RING_SIZE_GRID = {"paper": (1, 2, 3, 4, 5, 6, 7), "small": (1, 2, 3, 5, 7),
+                  "smoke": (2, 3, 5)}
+
+
+def fig6_ring_size_sweep(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 6: download time vs max ring size, N-2-way and 2-N-way."""
+    table = SeriesTable(
+        "Fig.6 mean download time (min) vs maximum exchange ring size N",
+        "max_ring_N",
+        [
+            "N-2-way/sharing",
+            "N-2-way/non-sharing",
+            "2-N-way/sharing",
+            "2-N-way/non-sharing",
+        ],
+    )
+    for n in RING_SIZE_GRID[scale]:
+        row: Dict[str, Optional[float]] = {}
+        for family, spec in (("N-2-way", f"{n}-2-way"), ("2-N-way", f"2-{n}-way")):
+            if n < 2:
+                spec = "none"  # N=1: no feasible ring, the paper's leftmost point
+            if n == 2:
+                spec = "pairwise"
+            result = run_simulation(
+                preset(scale, exchange_mechanism=spec, seed=seed)
+            )
+            summary = result.summary
+            row[f"{family}/sharing"] = summary.mean_download_time_sharers_min
+            row[f"{family}/non-sharing"] = summary.mean_download_time_freeloaders_min
+        table.add_row(float(n), row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 / Fig. 8 — per-class CDFs at the base configuration
+# ---------------------------------------------------------------------------
+
+def _class_cdf_table(
+    title: str,
+    x_label: str,
+    grid: Sequence[float],
+    samples_by_class: Dict[str, List[float]],
+) -> SeriesTable:
+    table = SeriesTable(title, x_label, list(CDF_CLASSES))
+    cdfs = {
+        label: EmpiricalCDF(samples)
+        for label, samples in samples_by_class.items()
+        if samples and label in CDF_CLASSES
+    }
+    for x in grid:
+        table.add_row(
+            x, {label: cdf(x) for label, cdf in cdfs.items()}
+        )
+    return table
+
+
+def fig7_session_volume_cdf(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 7: CDF of per-session transferred bytes, by traffic class."""
+    result = run_simulation(preset(scale, exchange_mechanism="2-5-way", seed=seed))
+    volumes = result.summary.session_volume_kb_by_class
+    top = max((max(v) for v in volumes.values() if v), default=1.0)
+    grid = [top * i / 12.0 for i in range(1, 13)]
+    return _class_cdf_table(
+        "Fig.7 CDF of per-session volume (kB) by traffic class",
+        "volume_kb",
+        grid,
+        volumes,
+    )
+
+
+def fig8_waiting_time_cdf(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 8: CDF of session waiting times, by traffic class."""
+    result = run_simulation(preset(scale, exchange_mechanism="2-5-way", seed=seed))
+    waits = result.summary.waiting_time_min_by_class
+    top = max((max(v) for v in waits.values() if v), default=1.0)
+    grid = [top * i / 12.0 for i in range(1, 13)]
+    return _class_cdf_table(
+        "Fig.8 CDF of session waiting time (min) by traffic class",
+        "waiting_min",
+        grid,
+        waits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 / Fig. 10 — sweep over the popularity factor f
+# ---------------------------------------------------------------------------
+
+FACTOR_GRID = {"paper": (0.0, 0.2, 0.4, 0.6, 0.8, 1.0), "small": (0.0, 0.4, 0.8),
+               "smoke": (0.0, 0.4, 0.8)}
+
+
+def fig9_download_time_vs_popularity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 9: mean download time vs popularity factor f."""
+    table = SeriesTable(
+        "Fig.9 mean download time (min) vs popularity factor f",
+        "factor_f",
+        _mechanism_columns(),
+    )
+    for factor in FACTOR_GRID[scale]:
+        results = _run_mechanism_grid(
+            lambda mechanism: preset(
+                scale,
+                exchange_mechanism=mechanism,
+                category_factor=factor,
+                object_factor=factor,
+                seed=seed,
+            )
+        )
+        table.add_row(factor, _download_time_row(results))
+    return table
+
+
+def fig10_volume_vs_popularity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 10: per-class transfer volume (MB per peer) vs factor f."""
+    table = SeriesTable(
+        "Fig.10 transfer volume (MB/peer) vs popularity factor f",
+        "factor_f",
+        _mechanism_columns(),
+    )
+    for factor in FACTOR_GRID[scale]:
+        row: Dict[str, Optional[float]] = {}
+        for mechanism in MECHANISMS:
+            summary = run_simulation(
+                preset(
+                    scale,
+                    exchange_mechanism=mechanism,
+                    category_factor=factor,
+                    object_factor=factor,
+                    seed=seed,
+                )
+            ).summary
+            row[f"{mechanism}/sharing"] = summary.volume_per_sharer_mb
+            row[f"{mechanism}/non-sharing"] = summary.volume_per_freeloader_mb
+        none_summary = run_simulation(
+            preset(
+                scale,
+                exchange_mechanism="none",
+                category_factor=factor,
+                object_factor=factor,
+                seed=seed,
+            )
+        ).summary
+        row["no-exchange"] = (
+            none_summary.volume_per_sharer_mb + none_summary.volume_per_freeloader_mb
+        ) / 2.0
+        table.add_row(factor, row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — max outstanding requests x categories per peer
+# ---------------------------------------------------------------------------
+
+PENDING_GRID = {"paper": (2, 3, 4, 5, 6, 7, 8, 9, 10), "small": (2, 4, 6, 10),
+                "smoke": (2, 6, 10)}
+CATEGORY_GRID = (2, 4, 8)
+
+
+def fig11_pending_and_categories(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 11: sharing/non-sharing download-time ratio vs max pending.
+
+    One series per categories-per-peer value (2, 4, 8), mechanism fixed
+    to the paper's ring configuration.
+    """
+    table = SeriesTable(
+        "Fig.11 download-time ratio (non-sharing / sharing) vs max pending requests",
+        "max_pending",
+        [f"cat/peer={c}" for c in CATEGORY_GRID],
+    )
+    for max_pending in PENDING_GRID[scale]:
+        row: Dict[str, Optional[float]] = {}
+        for categories in CATEGORY_GRID:
+            summary = run_simulation(
+                preset(
+                    scale,
+                    exchange_mechanism="2-5-way",
+                    max_pending=max_pending,
+                    categories_per_peer_min=categories,
+                    categories_per_peer_max=categories,
+                    # Run in the loaded regime: the ratio Fig. 11 plots
+                    # only separates from 1 when slots are contended.
+                    upload_capacity_kbit=40.0,
+                    seed=seed,
+                )
+            ).summary
+            row[f"cat/peer={categories}"] = summary.speedup_sharers_vs_freeloaders
+        table.add_row(float(max_pending), row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — sweep over the fraction of non-sharing peers
+# ---------------------------------------------------------------------------
+
+FREELOADER_GRID = {"paper": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+                   "small": (0.1, 0.3, 0.5, 0.7, 0.9),
+                   "smoke": (0.2, 0.5, 0.8)}
+
+
+def fig12_freeloader_fraction(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Fig. 12: mean download times vs fraction of non-sharing peers."""
+    table = SeriesTable(
+        "Fig.12 mean download time (min) vs fraction of non-sharing peers",
+        "freeloader_fraction",
+        _mechanism_columns(),
+    )
+    for fraction in FREELOADER_GRID[scale]:
+        results = _run_mechanism_grid(
+            lambda mechanism: preset(
+                scale,
+                exchange_mechanism=mechanism,
+                freeloader_fraction=fraction,
+                seed=seed,
+            )
+        )
+        table.add_row(fraction, _download_time_row(results))
+    return table
+
+
+#: Registry used by the CLI runner and the benchmarks.
+FIGURES: Dict[str, Callable[[str, int], SeriesTable]] = {
+    "fig4": fig4_download_time_vs_capacity,
+    "fig5": fig5_exchange_fraction_vs_capacity,
+    "fig6": fig6_ring_size_sweep,
+    "fig7": fig7_session_volume_cdf,
+    "fig8": fig8_waiting_time_cdf,
+    "fig9": fig9_download_time_vs_popularity,
+    "fig10": fig10_volume_vs_popularity,
+    "fig11": fig11_pending_and_categories,
+    "fig12": fig12_freeloader_fraction,
+}
+
+
+def run_figure(figure_id: str, scale: str = "smoke", seed: int = 42) -> SeriesTable:
+    """Run one figure's sweep by id (``fig4`` .. ``fig12``)."""
+    if figure_id not in FIGURES:
+        raise ConfigError(
+            f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}"
+        )
+    return FIGURES[figure_id](scale, seed)

@@ -1,0 +1,73 @@
+"""Scale presets for the experiment harness.
+
+The paper's absolute configuration (Table II) needs runs several times
+longer than the ~400-minute mean download time to measure download times
+without censoring bias — minutes of wall clock per point, hours for a
+full sweep.  Three presets trade fidelity for speed:
+
+* ``paper`` — Table II verbatim with a long measurement window.  Use
+  for the record; hours per figure.
+* ``small`` — half population, 8 MB objects, same load structure
+  (demand ≈ 3x supply at the base upload capacity).  Tens of seconds
+  per point; this is what EXPERIMENTS.md reports.
+* ``smoke`` — 40 peers, 4 MB objects; seconds per point.  This is what
+  ``pytest benchmarks/`` runs so CI stays fast.
+
+All presets keep the paper's *structure*: 10 kbit/s slots, 6 pending
+requests, 50% free-riders, power-law popularity with f = 0.2, initial
+placement by interest, periodic random eviction.  Densities (category
+count, objects per category) are scaled with the population so that the
+double-coincidence rate — the quantity that drives exchange formation —
+stays in the regime the paper's Figs. 4-5 exhibit; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+
+#: Per-scale overrides applied on top of Table II defaults.
+SCALES: Dict[str, dict] = {
+    "paper": dict(
+        duration=240_000.0,
+        warmup=48_000.0,
+        block_size_kbit=4096.0,
+    ),
+    "small": dict(
+        num_peers=100,
+        num_categories=100,
+        objects_per_category_min=1,
+        objects_per_category_max=100,
+        object_size_mb=8.0,
+        block_size_kbit=2048.0,
+        storage_min_objects=5,
+        storage_max_objects=40,
+        duration=60_000.0,
+        warmup=15_000.0,
+    ),
+    "smoke": dict(
+        num_peers=40,
+        num_categories=40,
+        objects_per_category_min=1,
+        objects_per_category_max=60,
+        object_size_mb=4.0,
+        block_size_kbit=1024.0,
+        storage_min_objects=4,
+        storage_max_objects=16,
+        duration=24_000.0,
+        warmup=6_000.0,
+    ),
+}
+
+
+def preset(scale: str, **overrides) -> SimulationConfig:
+    """A :class:`SimulationConfig` for the named scale, plus overrides."""
+    if scale not in SCALES:
+        raise ConfigError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        )
+    merged = dict(SCALES[scale])
+    merged.update(overrides)
+    return SimulationConfig(**merged)

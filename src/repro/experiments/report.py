@@ -1,0 +1,66 @@
+"""ASCII series tables shaped like the paper's plots.
+
+A :class:`SeriesTable` is one figure's worth of data: an x column plus
+one column per series (e.g. ``pairwise/sharing``), rendered as an
+aligned text table — the same rows a gnuplot datafile for the paper's
+figures would contain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MetricsError
+
+Row = Tuple[float, Dict[str, Optional[float]]]
+
+
+class SeriesTable:
+    """x → {series name → value} with aligned text rendering."""
+
+    def __init__(self, title: str, x_label: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.columns = list(columns)
+        self.rows: List[Row] = []
+
+    def add_row(self, x: float, values: Dict[str, Optional[float]]) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise MetricsError(f"unknown series {sorted(unknown)} in {self.title}")
+        self.rows.append((x, dict(values)))
+
+    def series(self, column: str) -> List[Tuple[float, Optional[float]]]:
+        """(x, y) pairs for one series, in row order."""
+        if column not in self.columns:
+            raise MetricsError(f"no series {column!r} in {self.title}")
+        return [(x, values.get(column)) for x, values in self.rows]
+
+    def column_values(self, column: str) -> List[float]:
+        """Non-missing y values for one series."""
+        return [y for _x, y in self.series(column) if y is not None]
+
+    # ------------------------------------------------------------------
+    def render(self, precision: int = 2) -> str:
+        """Aligned table, one row per x, one column per series."""
+        headers = [self.x_label] + self.columns
+        body: List[List[str]] = []
+        for x, values in self.rows:
+            cells = [f"{x:g}"]
+            for column in self.columns:
+                value = values.get(column)
+                cells.append("-" if value is None else f"{value:.{precision}f}")
+            body.append(cells)
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeriesTable({self.title!r}, rows={len(self.rows)})"

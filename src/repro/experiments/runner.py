@@ -1,0 +1,72 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-experiments fig4 --scale small --seed 42
+    repro-experiments all --scale smoke --out results/
+
+Prints each figure's series table (the same rows the paper plots) and
+optionally writes them to files for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.presets import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figure",
+        help=f"figure id ({', '.join(sorted(FIGURES))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=sorted(SCALES),
+        help="experiment scale preset (default: smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write <figure>_<scale>.txt result files into",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    figure_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    unknown = [f for f in figure_ids if f not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for figure_id in figure_ids:
+        started = time.perf_counter()
+        table = run_figure(figure_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        rendered = table.render()
+        print(rendered)
+        print(f"[{figure_id} @ {args.scale}: {elapsed:.1f}s]\n")
+        if args.out:
+            path = os.path.join(args.out, f"{figure_id}_{args.scale}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Measurement layer: session/download records, CDFs and summaries."""
+
+from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.records import (
+    DownloadRecord,
+    SessionRecord,
+    TerminationReason,
+    TrafficClass,
+)
+from repro.metrics.summary import SimulationSummary, summarize
+
+__all__ = [
+    "DownloadRecord",
+    "EmpiricalCDF",
+    "MetricsCollector",
+    "SessionRecord",
+    "SimulationSummary",
+    "TerminationReason",
+    "TrafficClass",
+    "summarize",
+]

@@ -1,0 +1,89 @@
+"""Central metrics collector.
+
+The collector is an append-only sink shared by every peer and transfer.
+It records everything with timestamps; filtering to the measurement
+window (post-warmup) is applied in :mod:`repro.metrics.summary`, so a
+single run can be re-summarized with different windows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.metrics.records import (
+    DownloadRecord,
+    SessionRecord,
+    TerminationReason,
+    TrafficClass,
+)
+
+
+class MetricsCollector:
+    """Append-only store of session and download records plus counters."""
+
+    def __init__(self) -> None:
+        self.sessions: List[SessionRecord] = []
+        self.downloads: List[DownloadRecord] = []
+        self.counters: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_session(self, record: SessionRecord) -> None:
+        self.sessions.append(record)
+        self.counters[f"session.{record.traffic_class.value}"] += 1
+        self.counters[f"session.reason.{record.reason.value}"] += 1
+
+    def record_download(self, record: DownloadRecord) -> None:
+        self.downloads.append(record)
+        key = "download.sharer" if record.peer_is_sharer else "download.freeloader"
+        self.counters[key] += 1
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump a free-form counter (ring attempts, token failures, ...)."""
+        self.counters[name] += delta
+
+    # ------------------------------------------------------------------
+    # filtered views (used by summary and by tests)
+    # ------------------------------------------------------------------
+    def sessions_after(self, warmup: float) -> List[SessionRecord]:
+        """Sessions that *ended* after the warmup boundary."""
+        return [s for s in self.sessions if s.end_time >= warmup]
+
+    def downloads_after(self, warmup: float) -> List[DownloadRecord]:
+        """Downloads that *completed* after the warmup boundary."""
+        return [d for d in self.downloads if d.complete_time >= warmup]
+
+    def sessions_by_class(
+        self, warmup: float = 0.0
+    ) -> Dict[TrafficClass, List[SessionRecord]]:
+        grouped: Dict[TrafficClass, List[SessionRecord]] = {}
+        for session in self.sessions_after(warmup):
+            grouped.setdefault(session.traffic_class, []).append(session)
+        return grouped
+
+    def download_times(
+        self, sharer: Optional[bool] = None, warmup: float = 0.0
+    ) -> List[float]:
+        """Download times in seconds, optionally filtered by peer class."""
+        times = []
+        for record in self.downloads_after(warmup):
+            if sharer is not None and record.peer_is_sharer != sharer:
+                continue
+            times.append(record.download_time)
+        return times
+
+    def reason_counts(self) -> Dict[TerminationReason, int]:
+        counts: Dict[TerminationReason, int] = {}
+        for reason in TerminationReason:
+            key = f"session.reason.{reason.value}"
+            if self.counters[key]:
+                counts[reason] = self.counters[key]
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsCollector(sessions={len(self.sessions)}, "
+            f"downloads={len(self.downloads)})"
+        )

@@ -1,0 +1,129 @@
+"""Run summaries: the numbers the paper's figures are made of.
+
+:func:`summarize` reduces a :class:`~repro.metrics.collectors.MetricsCollector`
+to a :class:`SimulationSummary` holding exactly the quantities plotted in
+Figs. 4–12: per-class mean download times (minutes), exchange-session
+fraction, per-class session volumes and waiting times, and per-peer-class
+transfer volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.records import TrafficClass
+from repro.units import kbit_to_mb, seconds_to_minutes
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+@dataclass
+class SimulationSummary:
+    """Headline quantities of one run (times in minutes, volumes in MB)."""
+
+    # Fig. 4 / 6 / 9 / 12: mean download times
+    mean_download_time_sharers_min: Optional[float]
+    mean_download_time_freeloaders_min: Optional[float]
+    mean_download_time_all_min: Optional[float]
+    completed_downloads_sharers: int
+    completed_downloads_freeloaders: int
+
+    # Fig. 5: session class mix
+    exchange_session_fraction: Optional[float]
+    session_counts: Dict[str, int] = field(default_factory=dict)
+
+    # Fig. 7 / 8 inputs
+    session_volume_kb_by_class: Dict[str, List[float]] = field(default_factory=dict)
+    waiting_time_min_by_class: Dict[str, List[float]] = field(default_factory=dict)
+
+    # Fig. 10: measured-window transfer volume per peer class (MB / peer)
+    volume_per_sharer_mb: float = 0.0
+    volume_per_freeloader_mb: float = 0.0
+
+    # extras
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup_sharers_vs_freeloaders(self) -> Optional[float]:
+        """Fig. 11's y-axis: freeloader mean time / sharer mean time."""
+        sharers = self.mean_download_time_sharers_min
+        freeloaders = self.mean_download_time_freeloaders_min
+        if not sharers or freeloaders is None:
+            return None
+        return freeloaders / sharers
+
+
+def summarize(
+    collector: MetricsCollector,
+    warmup: float,
+    num_sharers: int,
+    num_freeloaders: int,
+) -> SimulationSummary:
+    """Reduce raw records to the paper's headline metrics.
+
+    ``warmup`` censors everything that finished before the measurement
+    window opened.  Per-peer volumes are normalized by the *class size*
+    so runs with different freeloader fractions are comparable (Fig. 12).
+    """
+    sharer_times = collector.download_times(sharer=True, warmup=warmup)
+    freeloader_times = collector.download_times(sharer=False, warmup=warmup)
+    all_times = sharer_times + freeloader_times
+
+    sessions = collector.sessions_after(warmup)
+    session_counts: Dict[str, int] = {}
+    volume_by_class: Dict[str, List[float]] = {}
+    waiting_by_class: Dict[str, List[float]] = {}
+    exchange_sessions = 0
+    sharer_kbit = 0.0
+    freeloader_kbit = 0.0
+    for session in sessions:
+        label = session.traffic_class.value
+        session_counts[label] = session_counts.get(label, 0) + 1
+        volume_by_class.setdefault(label, []).append(session.kbit_transferred / 8.0)
+        waiting_by_class.setdefault(label, []).append(
+            seconds_to_minutes(session.waiting_time)
+        )
+        if session.traffic_class.is_exchange:
+            exchange_sessions += 1
+        if session.requester_is_sharer:
+            sharer_kbit += session.kbit_transferred
+        else:
+            freeloader_kbit += session.kbit_transferred
+
+    fraction: Optional[float] = None
+    if sessions:
+        fraction = exchange_sessions / len(sessions)
+
+    mean_sharer = _mean(sharer_times)
+    mean_freeloader = _mean(freeloader_times)
+    mean_all = _mean(all_times)
+    return SimulationSummary(
+        mean_download_time_sharers_min=(
+            seconds_to_minutes(mean_sharer) if mean_sharer is not None else None
+        ),
+        mean_download_time_freeloaders_min=(
+            seconds_to_minutes(mean_freeloader) if mean_freeloader is not None else None
+        ),
+        mean_download_time_all_min=(
+            seconds_to_minutes(mean_all) if mean_all is not None else None
+        ),
+        completed_downloads_sharers=len(sharer_times),
+        completed_downloads_freeloaders=len(freeloader_times),
+        exchange_session_fraction=fraction,
+        session_counts=session_counts,
+        session_volume_kb_by_class=volume_by_class,
+        waiting_time_min_by_class=waiting_by_class,
+        volume_per_sharer_mb=(
+            kbit_to_mb(sharer_kbit) / num_sharers if num_sharers else 0.0
+        ),
+        volume_per_freeloader_mb=(
+            kbit_to_mb(freeloader_kbit) / num_freeloaders if num_freeloaders else 0.0
+        ),
+        counters=dict(collector.counters),
+    )

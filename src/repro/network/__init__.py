@@ -1,0 +1,19 @@
+"""Network substrate: peers, link capacity, transfers, lookup."""
+
+from repro.network.behaviors import FREELOADER, SHARER, PeerBehavior
+from repro.network.capacity import SlotPool
+from repro.network.download import DownloadState
+from repro.network.lookup import LookupService
+from repro.network.peer import Peer
+from repro.network.transfer import Transfer
+
+__all__ = [
+    "FREELOADER",
+    "SHARER",
+    "DownloadState",
+    "LookupService",
+    "Peer",
+    "PeerBehavior",
+    "SlotPool",
+    "Transfer",
+]

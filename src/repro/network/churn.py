@@ -1,0 +1,110 @@
+"""Peer churn: alternating online/offline sessions (extension).
+
+The paper's simulation keeps all 200 peers online; disconnection only
+appears as a *reason* rings break ("some peers may have gone offline,
+or crashed") and as the §V observation that "transient peer
+participation" stresses credit systems.  This extension adds an
+explicit on/off session model so those paths are exercised: going
+offline terminates every transfer the peer touches (reason
+``PEER_OFFLINE``), withdraws its requests and unpublishes its store;
+coming back re-publishes and rejoins the workload.
+
+Enable via ``SimulationConfig(churn_enabled=True, ...)``; session and
+downtime durations are exponential with the configured means, drawn
+from the peer's own RNG stream so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ConfigError
+from repro.metrics.records import TerminationReason
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.context import SimContext
+    from repro.network.peer import Peer
+
+
+def take_peer_offline(peer: "Peer") -> None:
+    """Disconnect: kill transfers, withdraw requests, unpublish."""
+    if not peer.online:
+        return
+    ctx = peer.ctx
+    # Uploads first: our departure breaks any ring we serve in.
+    for transfer in peer.active_uploads():
+        transfer.terminate(TerminationReason.PEER_OFFLINE)
+    # Downloads: both the transfers and the queued registrations.
+    for download in list(peer.pending.values()):
+        for transfer in list(download.transfers.values()):
+            transfer.terminate(TerminationReason.PEER_OFFLINE, requeue=False)
+        for provider_id in list(download.registered_at):
+            ctx.peer(provider_id).irq.remove(peer.peer_id, download.object.object_id)
+        download.registered_at.clear()
+    if peer.behavior.shares:
+        for object_id in peer.store.object_ids():
+            ctx.lookup.unregister(peer.peer_id, object_id)
+    peer.online = False
+    ctx.metrics.count("churn.offline")
+
+
+def bring_peer_online(peer: "Peer") -> None:
+    """Reconnect: re-publish the store and resume the workload."""
+    if peer.online:
+        return
+    ctx = peer.ctx
+    peer.online = True
+    if peer.behavior.shares:
+        for object_id in peer.store.object_ids():
+            ctx.lookup.register(peer.peer_id, object_id)
+    ctx.metrics.count("churn.online")
+    # Pending downloads re-register at providers on the next scan; kick
+    # one immediately so short sessions still make progress.
+    peer.scan()
+
+
+class ChurnModel:
+    """Drives alternating exponential on/off sessions for a set of peers."""
+
+    def __init__(
+        self,
+        ctx: "SimContext",
+        peers: List["Peer"],
+        mean_online: float,
+        mean_offline: float,
+        rand: random.Random,
+    ) -> None:
+        if mean_online <= 0 or mean_offline <= 0:
+            raise ConfigError(
+                f"churn means must be positive, got {mean_online}/{mean_offline}"
+            )
+        self._ctx = ctx
+        self._mean_online = mean_online
+        self._mean_offline = mean_offline
+        self._rand = rand
+        self.transitions = 0
+        for peer in peers:
+            self._schedule_offline(peer)
+
+    def _schedule_offline(self, peer: "Peer") -> None:
+        delay = self._rand.expovariate(1.0 / self._mean_online)
+        self._ctx.engine.schedule(
+            delay, lambda p=peer: self._go_offline(p), name=f"churn.off.p{peer.peer_id}"
+        )
+
+    def _schedule_online(self, peer: "Peer") -> None:
+        delay = self._rand.expovariate(1.0 / self._mean_offline)
+        self._ctx.engine.schedule(
+            delay, lambda p=peer: self._go_online(p), name=f"churn.on.p{peer.peer_id}"
+        )
+
+    def _go_offline(self, peer: "Peer") -> None:
+        self.transitions += 1
+        take_peer_offline(peer)
+        self._schedule_online(peer)
+
+    def _go_online(self, peer: "Peer") -> None:
+        self.transitions += 1
+        bring_peer_online(peer)
+        self._schedule_offline(peer)

@@ -1,0 +1,102 @@
+"""Object lookup oracle.
+
+The paper deliberately abstracts object lookup ("we ignore the details
+of object lookup ... our approach can work with several known search
+mechanisms including broadcast in Gnutella-like networks or a DHT
+query") and assumes a peer "can locate up to a certain fraction of
+peers that currently have the object".
+
+:class:`LookupService` implements exactly that contract as a global
+provider index: sharing peers register the objects they store; a lookup
+returns a ``coverage`` fraction of the current providers, sampled with
+the caller's RNG stream so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set
+
+from repro.errors import LookupError_
+
+
+class LookupService:
+    """Global index of *shared* objects → provider peer ids."""
+
+    def __init__(self, coverage: float = 1.0) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise LookupError_(f"coverage must be in (0, 1], got {coverage}")
+        self.coverage = coverage
+        self._providers: Dict[int, Set[int]] = {}
+        self.lookups_served = 0
+
+    # ------------------------------------------------------------------
+    # index maintenance (called by sharing peers on store/evict)
+    # ------------------------------------------------------------------
+    def register(self, peer_id: int, object_id: int) -> None:
+        self._providers.setdefault(object_id, set()).add(peer_id)
+
+    def unregister(self, peer_id: int, object_id: int) -> None:
+        providers = self._providers.get(object_id)
+        if providers is None or peer_id not in providers:
+            raise LookupError_(
+                f"peer {peer_id} is not a registered provider of object {object_id}"
+            )
+        providers.remove(peer_id)
+        if not providers:
+            del self._providers[object_id]
+
+    def unregister_all(self, peer_id: int, object_ids: List[int]) -> None:
+        for object_id in object_ids:
+            self.unregister(peer_id, object_id)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def providers(self, object_id: int, exclude: int = -1) -> Set[int]:
+        """The *live* provider set (complete, coverage not applied).
+
+        Used by the exchange machinery, which the paper allows to reuse
+        "the original provider list"; the set is returned by reference
+        minus exclusions for speed — callers must not mutate it.
+        """
+        live = self._providers.get(object_id)
+        if not live:
+            return set()
+        if exclude in live:
+            return live - {exclude}
+        return live
+
+    def provider_count(self, object_id: int) -> int:
+        return len(self._providers.get(object_id, ()))
+
+    def find_providers(
+        self, object_id: int, requester_id: int, rand: random.Random
+    ) -> List[int]:
+        """A coverage-limited provider sample, excluding the requester.
+
+        Models the search mechanism's partial view: with coverage c and
+        n live providers, returns ceil(c*n) of them, uniformly sampled,
+        in deterministic (seeded) order.
+        """
+        self.lookups_served += 1
+        live = self._providers.get(object_id)
+        if not live:
+            return []
+        candidates = sorted(live - {requester_id})
+        if not candidates:
+            return []
+        if self.coverage >= 1.0:
+            rand.shuffle(candidates)
+            return candidates
+        count = max(1, -(-len(candidates) * self.coverage // 1))
+        return rand.sample(candidates, int(min(len(candidates), count)))
+
+    def objects_indexed(self) -> int:
+        return len(self._providers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LookupService(objects={len(self._providers)}, "
+            f"coverage={self.coverage})"
+        )

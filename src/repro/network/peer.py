@@ -1,0 +1,431 @@
+"""The peer node model.
+
+A :class:`Peer` owns one object store, one IRQ, one upload and one
+download slot pool, and the set of its pending downloads.  Its event
+handlers wire the workload (issue requests on completion), the exchange
+machinery (search/commit on every scheduling pass) and the FIFO
+fallback scheduler together.
+
+Scheduling passes are *deferred and coalesced*: mutations (a new IRQ
+entry, a freed slot) call :meth:`Peer.schedule_pass`, which enqueues a
+zero-delay event.  All ring formation and normal service then happens
+inside that event, never re-entrantly inside another peer's mutation —
+this is what makes the token pass's validate-then-commit sequence
+atomic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.baselines.credit import CreditLedger
+from repro.baselines.participation import ParticipationReporter
+from repro.content.storage import ObjectStore
+from repro.content.workload import RequestGenerator
+from repro.core import exchange_manager, scheduler
+from repro.core.irq import IncomingRequestQueue, RequestEntry
+from repro.core.policies import ExchangePolicy
+from repro.core.request_tree import build_snapshot
+from repro.errors import ProtocolError
+from repro.metrics.records import DownloadRecord, TerminationReason
+from repro.network.behaviors import PeerBehavior
+from repro.network.capacity import SlotPool
+from repro.network.download import DownloadState
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.content.catalog import ContentObject
+    from repro.content.interests import InterestProfile
+    from repro.context import SimContext
+    from repro.network.transfer import Transfer
+
+
+class Peer:
+    """One participant of the file-sharing network."""
+
+    def __init__(
+        self,
+        ctx: "SimContext",
+        peer_id: int,
+        behavior: PeerBehavior,
+        policy: ExchangePolicy,
+        profile: "InterestProfile",
+        store: ObjectStore,
+    ) -> None:
+        config = ctx.config
+        self.ctx = ctx
+        self.peer_id = peer_id
+        self.behavior = behavior
+        self.policy = policy
+        self.profile = profile
+        self.store = store
+        self.online = True
+        self.upload_pool = SlotPool(config.upload_capacity_kbit, config.slot_kbit)
+        self.download_pool = SlotPool(config.download_capacity_kbit, config.slot_kbit)
+        self.irq = IncomingRequestQueue(config.irq_capacity)
+        self.pending: Dict[int, DownloadState] = {}
+        self.workload: Optional[RequestGenerator] = None  # set by attach_workload
+        self._uploads: Dict[Tuple[int, int], "Transfer"] = {}
+        self._exchange_uploads = 0
+        self._pass_scheduled = False
+        self._snapshot_cache: Optional[Tuple[int, object]] = None
+        self._last_tree_refresh = -math.inf
+        self._workload_stalled_until = -math.inf
+        self._rand = ctx.rng.stream(f"peer{peer_id}")
+        # Baseline-mechanism state (consulted only under the matching
+        # scheduler_mode, but always maintained — it is cheap and lets
+        # analyses compare what credit *would* have said).
+        self.credit = CreditLedger(peer_id)
+        fakes = (
+            config.scheduler_mode == "participation"
+            and config.freeloaders_fake_participation
+            and not behavior.shares
+        )
+        self.participation = ParticipationReporter(peer_id, cheats=fakes)
+
+    # ------------------------------------------------------------------
+    # identity & capability
+    # ------------------------------------------------------------------
+    @property
+    def shares(self) -> bool:
+        """Whether this peer currently serves content."""
+        return self.behavior.shares and self.online
+
+    @property
+    def exchange_upload_count(self) -> int:
+        return self._exchange_uploads
+
+    def active_uploads(self) -> List["Transfer"]:
+        return list(self._uploads.values())
+
+    def available_blocks(self, object_id: int) -> int:
+        """How many blocks of the object this peer can currently serve.
+
+        A fully stored object serves all its blocks.  Under the
+        ``serve_partial`` extension (paper §V), an in-progress download
+        serves the blocks received so far.  Otherwise zero.
+        """
+        if object_id in self.store:
+            return self.blocks_for_object(object_id)
+        if self.ctx.config.serve_partial:
+            download = self.pending.get(object_id)
+            if download is not None:
+                return download.delivered_blocks
+        return 0
+
+    def blocks_for_object(self, object_id: int) -> int:
+        size_kbit = self.ctx.catalog.object(object_id).size_kbit
+        return max(1, math.ceil(size_kbit / self.ctx.config.block_size_kbit))
+
+    # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    def attach_workload(self, workload: RequestGenerator) -> None:
+        self.workload = workload
+
+    def fill_pending(self) -> int:
+        """Issue new requests until ``max_pending`` is reached.
+
+        A peer whose interest categories currently offer no requestable
+        object backs off for ``workload_retry_interval`` instead of
+        redrawing hundreds of candidates on every scan.
+        """
+        if self.workload is None:
+            raise ProtocolError(f"peer {self.peer_id} has no workload attached")
+        if self.ctx.now < self._workload_stalled_until:
+            return 0
+        issued = 0
+        while len(self.pending) < self.ctx.config.max_pending:
+            candidate = self.workload.next_request()
+            if candidate is None:
+                self.ctx.metrics.count("workload.no_candidate")
+                self._workload_stalled_until = (
+                    self.ctx.now + self.ctx.config.workload_retry_interval
+                )
+                break
+            self.start_download(candidate)
+            issued += 1
+        return issued
+
+    def start_download(self, obj: "ContentObject") -> DownloadState:
+        """Open a download: lookup, pre-send ring check, register requests."""
+        if obj.object_id in self.pending:
+            raise ProtocolError(
+                f"peer {self.peer_id} already has a pending request "
+                f"for object {obj.object_id}"
+            )
+        ctx = self.ctx
+        download = DownloadState(
+            peer_id=self.peer_id,
+            obj=obj,
+            request_time=ctx.now,
+            total_blocks=self.blocks_for_object(obj.object_id),
+        )
+        self.pending[obj.object_id] = download
+        providers = ctx.lookup.find_providers(obj.object_id, self.peer_id, self._rand)
+        download.known_providers.update(providers)
+        if not providers:
+            ctx.metrics.count("lookup.miss")
+            return download
+        # Paper §III-A: the requester inspects its entire request tree
+        # *before* transmitting a request, closing a ring if it can.
+        if self.policy.enables_exchanges and self.shares:
+            exchange_manager.try_form_exchanges(self, only_object=obj.object_id)
+        self._register_at_providers(download, providers)
+        return download
+
+    def _register_at_providers(
+        self, download: DownloadState, providers: List[int]
+    ) -> int:
+        # A provider can appear both as a registration and as an active
+        # source (entries stay attached while served), so count the union.
+        engaged = download.registered_at | set(download.transfers)
+        budget = self.ctx.config.request_fanout - len(engaged)
+        count = 0
+        for provider_id in providers:
+            if budget <= 0:
+                break
+            if download.transfer_from(provider_id) is not None:
+                continue  # already serving (e.g. via a just-formed ring)
+            if self.register_request_at(provider_id, download):
+                budget -= 1
+                count += 1
+        return count
+
+    def register_request_at(self, provider_id: int, download: DownloadState) -> bool:
+        """Register interest at a provider's IRQ; True on success."""
+        if provider_id == self.peer_id:
+            raise ProtocolError(f"peer {self.peer_id} cannot request from itself")
+        if provider_id in download.registered_at:
+            return False
+        provider = self.ctx.peer(provider_id)
+        if not provider.shares:
+            return False
+        entry = RequestEntry(
+            requester_id=self.peer_id,
+            object_id=download.object.object_id,
+            arrival_time=self.ctx.now,
+            tree=self._tree_snapshot(),
+        )
+        if not provider.irq.add(entry):
+            return False
+        download.registered_at.add(provider_id)
+        provider.schedule_pass()
+        return True
+
+    def requeue_request(self, provider: "Peer", download: DownloadState) -> bool:
+        """Re-register after a preemption or ring break (paper §III:
+        the peer "issues the request again")."""
+        if download.completed or not self.online:
+            return False
+        if provider.available_blocks(download.object.object_id) <= 0:
+            return False
+        return self.register_request_at(provider.peer_id, download)
+
+    def _tree_snapshot(self):
+        """The tree attached to outgoing requests, cached by IRQ version.
+
+        Rebuilt only when this peer's IRQ content changed, so idle peers
+        pay nothing for the periodic tree propagation.
+        """
+        levels = self.policy.tree_levels
+        if levels <= 0:
+            return None
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == self.irq.version:
+            return cached[1]
+        tree = build_snapshot(
+            self.peer_id, self.irq, levels, self.ctx.config.max_tree_nodes
+        )
+        self._snapshot_cache = (self.irq.version, tree)
+        return tree
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def schedule_pass(self) -> None:
+        """Coalesced zero-delay scheduling pass (exchanges then FIFO)."""
+        if self._pass_scheduled or not self.shares:
+            return
+        self._pass_scheduled = True
+        self.ctx.engine.schedule(0.0, self._run_pass, name=f"pass.p{self.peer_id}")
+
+    def _run_pass(self) -> None:
+        self._pass_scheduled = False
+        if not self.online:
+            return
+        if self.policy.enables_exchanges and self.shares:
+            exchange_manager.try_form_exchanges(self)
+        scheduler.serve_pending(self)
+
+    def scan(self) -> None:
+        """Periodic maintenance: exchange search, service, re-registration."""
+        if not self.online:
+            return
+        self.refresh_outgoing_trees()
+        if self.policy.enables_exchanges and self.shares:
+            exchange_manager.try_form_exchanges(self)
+        scheduler.serve_pending(self)
+        self._replenish_downloads()
+
+    def refresh_outgoing_trees(self) -> None:
+        """Re-publish this peer's request tree on its registered requests.
+
+        The paper's §V assumes request-tree information propagates
+        (incrementally) between peers; its simulation does not charge
+        for that traffic.  We model propagation at scan granularity:
+        every scan, a peer pushes its current snapshot to the providers
+        holding its open requests, so ring search upstream sees trees at
+        most one scan interval stale.
+        """
+        if self.policy.tree_levels <= 1:
+            return  # snapshots would carry no children anyway
+        now = self.ctx.now
+        if now - self._last_tree_refresh < self.ctx.config.tree_refresh_interval:
+            return
+        self._last_tree_refresh = now
+        snapshot = None
+        for download in self.pending.values():
+            if download.completed:
+                continue
+            for provider_id in download.registered_at:
+                provider = self.ctx.peer(provider_id)
+                entry = provider.irq.get(self.peer_id, download.object.object_id)
+                if entry is None or not entry.active:
+                    continue
+                if entry.transfer is not None and entry.transfer.is_exchange:
+                    continue
+                if snapshot is None:
+                    snapshot = self._tree_snapshot()
+                if entry.tree is snapshot:
+                    continue  # provider already holds the current tree
+                provider.irq.refresh_tree(entry, snapshot)
+
+    def _replenish_downloads(self) -> None:
+        if self.workload is not None and len(self.pending) < self.ctx.config.max_pending:
+            self.fill_pending()
+        for download in list(self.pending.values()):
+            if download.completed or download.unassigned_blocks <= 0:
+                continue
+            if download.active_sources > 0 or download.registered_at:
+                download.lookup_failures = 0
+                continue
+            providers = self.ctx.lookup.find_providers(
+                download.object.object_id, self.peer_id, self._rand
+            )
+            if not providers:
+                self.ctx.metrics.count("lookup.retry_miss")
+                download.lookup_failures += 1
+                if (
+                    download.lookup_failures
+                    >= self.ctx.config.abandon_after_lookup_failures
+                ):
+                    self.abandon_download(download)
+                continue
+            download.lookup_failures = 0
+            download.known_providers.update(providers)
+            self._register_at_providers(download, providers)
+
+    def abandon_download(self, download: DownloadState) -> None:
+        """Cancel a download whose object left the network.
+
+        Every copy of a rarely-held object can be evicted while a
+        request is outstanding; rather than pinning a pending slot
+        forever, the peer gives up (as a user would cancel a dead
+        download) and requests something locatable instead.
+        """
+        object_id = download.object.object_id
+        for transfer in list(download.transfers.values()):
+            transfer.terminate(TerminationReason.REQUESTER_CANCELLED, requeue=False)
+        for provider_id in list(download.registered_at):
+            self.ctx.peer(provider_id).irq.remove(self.peer_id, object_id)
+        download.registered_at.clear()
+        self.pending.pop(object_id, None)
+        self.ctx.metrics.count("download.abandoned")
+        if self.workload is not None:
+            self.fill_pending()
+
+    def on_download_complete(self, download: DownloadState) -> None:
+        """The last block arrived: store, publish, record, re-request."""
+        object_id = download.object.object_id
+        for transfer in list(download.transfers.values()):
+            transfer.terminate(TerminationReason.COMPLETED)
+        self.pending.pop(object_id, None)
+        for provider_id in list(download.registered_at):
+            provider = self.ctx.peer(provider_id)
+            provider.irq.remove(self.peer_id, object_id)
+        download.registered_at.clear()
+        newly_stored = self.store.add_if_absent(object_id)
+        if newly_stored and self.shares:
+            self.ctx.lookup.register(self.peer_id, object_id)
+        self.ctx.metrics.record_download(
+            DownloadRecord(
+                peer_id=self.peer_id,
+                object_id=object_id,
+                request_time=download.request_time,
+                complete_time=self.ctx.now,
+                size_kbit=download.object.size_kbit,
+                peer_is_sharer=self.behavior.shares,
+            )
+        )
+        if self.workload is not None:
+            self.fill_pending()
+
+    def storage_check(self) -> None:
+        """Periodic storage cleanup (paper §IV-A): evict random overflow.
+
+        Eviction skips pinned objects (ongoing exchanges).  Evicting an
+        object that a *normal* upload is serving terminates that upload
+        ("the source deletes the object").
+        """
+        if not self.store.over_capacity:
+            return
+        evicted = self.store.evict_random_overflow(self._rand)
+        if not evicted:
+            return
+        evicted_set = set(evicted)
+        if self.shares:  # offline peers are already out of the index
+            for object_id in evicted:
+                self.ctx.lookup.unregister(self.peer_id, object_id)
+        for transfer in self.active_uploads():
+            if transfer.object.object_id in evicted_set:
+                transfer.terminate(TerminationReason.SOURCE_DELETED)
+        self.ctx.metrics.count("storage.evicted", len(evicted))
+
+    # ------------------------------------------------------------------
+    # upload registry (maintained by Transfer)
+    # ------------------------------------------------------------------
+    def register_upload(self, transfer: "Transfer") -> None:
+        key = (transfer.requester.peer_id, transfer.object.object_id)
+        if key in self._uploads:
+            raise ProtocolError(
+                f"peer {self.peer_id} already uploads object {key[1]} to peer {key[0]}"
+            )
+        self._uploads[key] = transfer
+        if transfer.is_exchange:
+            self._exchange_uploads += 1
+
+    def unregister_upload(self, transfer: "Transfer") -> None:
+        key = (transfer.requester.peer_id, transfer.object.object_id)
+        if self._uploads.get(key) is not transfer:
+            raise ProtocolError(
+                f"peer {self.peer_id}: unregister of unknown upload {key}"
+            )
+        del self._uploads[key]
+        if transfer.is_exchange:
+            self._exchange_uploads -= 1
+
+    def note_upload_downgraded(self) -> None:
+        """An exchange upload became a normal one (ring downgrade)."""
+        if self._exchange_uploads <= 0:
+            raise ProtocolError(
+                f"peer {self.peer_id}: downgrade with no exchange uploads"
+            )
+        self._exchange_uploads -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Peer({self.peer_id}, {self.behavior.name}, "
+            f"store={len(self.store)}/{self.store.capacity}, "
+            f"pending={len(self.pending)}, irq={len(self.irq)})"
+        )

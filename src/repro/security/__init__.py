@@ -1,0 +1,45 @@
+"""Cheating and defenses (paper §III-B).
+
+The paper analyses four protection mechanisms for the exchange economy;
+each has a model here:
+
+* synchronous block validation against a trusted checksum source
+  (:mod:`repro.security.checksums`),
+* windowed exchange pacing that bounds a cheater's haul to the window
+  size (:mod:`repro.security.windows`),
+* local and cooperative blacklists (:mod:`repro.security.blacklist`),
+* the trusted-mediator encrypted exchange that defeats freeriding
+  middlemen (:mod:`repro.security.mediator`), and
+* the middleman attack itself plus the Table I / Fig. 3 non-ring
+  mixed object-capacity exchange (:mod:`repro.security.middleman`).
+
+Cryptography is modelled abstractly: what matters for incentives is
+*who can decrypt what after which checks*, not the ciphers themselves.
+"""
+
+from repro.security.blacklist import CooperativeBlacklist, LocalBlacklist
+from repro.security.checksums import BlockValidator, ChecksumService
+from repro.security.mediator import EncryptedBlock, Mediator, MediatedExchange
+from repro.security.middleman import (
+    MiddlemanOutcome,
+    capacity_exchange_rates,
+    run_middleman_attack,
+    table1_scenario,
+)
+from repro.security.windows import WindowedExchange, max_exchange_rate
+
+__all__ = [
+    "BlockValidator",
+    "ChecksumService",
+    "CooperativeBlacklist",
+    "EncryptedBlock",
+    "LocalBlacklist",
+    "MediatedExchange",
+    "Mediator",
+    "MiddlemanOutcome",
+    "WindowedExchange",
+    "capacity_exchange_rates",
+    "max_exchange_rate",
+    "run_middleman_attack",
+    "table1_scenario",
+]

@@ -1,0 +1,95 @@
+"""Local and cooperative blacklisting of cheaters (paper §III-B).
+
+"Peers can locally blacklist cheating peers and refuse to serve them
+later.  In a large and dynamic system this is likely to be ineffective
+as cheaters may perform well enough even if they can cheat each peer
+only once.  Cooperative blacklisting could help ... the problem
+persists if it is easy for a peer to assume a new identity."
+
+The models below expose exactly these dynamics: a cheap-pseudonym
+cheater defeats both lists by re-registering; the cooperative list
+amplifies one observation into network-wide refusal at the cost of
+trusting reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import ProtocolError
+
+
+class LocalBlacklist:
+    """One peer's private list of identities it refuses to serve."""
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._banned: Set[int] = set()
+        self.refusals = 0
+
+    def report(self, peer_id: int) -> None:
+        if peer_id == self.owner_id:
+            raise ProtocolError(f"peer {peer_id} cannot blacklist itself")
+        self._banned.add(peer_id)
+
+    def allows(self, peer_id: int) -> bool:
+        if peer_id in self._banned:
+            self.refusals += 1
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._banned)
+
+
+class CooperativeBlacklist:
+    """A shared list: a threshold of distinct reporters bans an identity.
+
+    The threshold guards against a single malicious reporter banning
+    honest peers — the extra mechanism (and attack surface) the paper
+    warns about.
+    """
+
+    def __init__(self, report_threshold: int = 2) -> None:
+        if report_threshold < 1:
+            raise ProtocolError(
+                f"report threshold must be >= 1, got {report_threshold}"
+            )
+        self.report_threshold = report_threshold
+        self._reports: Dict[int, Set[int]] = {}
+        self.refusals = 0
+
+    def report(self, reporter_id: int, peer_id: int) -> None:
+        if reporter_id == peer_id:
+            raise ProtocolError("self-reports are ignored by design")
+        self._reports.setdefault(peer_id, set()).add(reporter_id)
+
+    def is_banned(self, peer_id: int) -> bool:
+        reports = self._reports.get(peer_id)
+        return reports is not None and len(reports) >= self.report_threshold
+
+    def allows(self, peer_id: int) -> bool:
+        if self.is_banned(peer_id):
+            self.refusals += 1
+            return False
+        return True
+
+    def reporters_of(self, peer_id: int) -> Set[int]:
+        return set(self._reports.get(peer_id, set()))
+
+
+def cheap_pseudonym_gain(
+    num_victims: int, blacklist_shared: bool, identities_available: int
+) -> int:
+    """How many one-block cheats a pseudonym-switching cheater lands.
+
+    With local lists a cheater can hit every victim once *per identity*;
+    with a shared list, one hit per identity total.  This is the
+    arithmetic behind the paper's scepticism (citing Friedman &
+    Resnick's "social cost of cheap pseudonyms").
+    """
+    if num_victims < 0 or identities_available < 0:
+        raise ProtocolError("counts must be non-negative")
+    if blacklist_shared:
+        return identities_available
+    return num_victims * identities_available

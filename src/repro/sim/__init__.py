@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate.
+
+Provides the event engine (:class:`~repro.sim.engine.Engine`),
+cancellable events (:class:`~repro.sim.events.Event`), periodic
+processes (:func:`~repro.sim.processes.every`) and deterministic
+random-stream management (:class:`~repro.sim.rng.RandomSource`).
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.processes import PeriodicProcess, every
+from repro.sim.rng import RandomSource
+
+__all__ = ["Engine", "Event", "PeriodicProcess", "RandomSource", "every"]

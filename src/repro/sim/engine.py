@@ -1,0 +1,168 @@
+"""Heap-based discrete-event simulation engine.
+
+The engine is deliberately minimal: a clock, a binary heap of
+:class:`~repro.sim.events.Event` objects and a run loop.  Everything
+domain-specific (peers, transfers, rings) lives above it and interacts
+with the engine only through :meth:`Engine.schedule` /
+:meth:`Engine.schedule_at`.
+
+Determinism guarantees:
+
+* events at equal times fire in scheduling order (heap ties broken by a
+  sequence number), and
+* the engine itself uses no randomness,
+
+so a simulation driven by a seeded :class:`~repro.sim.rng.RandomSource`
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event
+
+
+class Engine:
+    """Discrete-event scheduler with a floating-point clock in seconds."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._fired = 0
+        self._cancelled_skipped = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (excludes cancelled skips)."""
+        return self._fired
+
+    @property
+    def events_pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may cancel.  A
+        negative delay raises :class:`SchedulingError` — events in the
+        past indicate a bookkeeping bug upstream, never a valid model.
+        """
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule {name or callback!r} {-delay:.6f}s in the past"
+            )
+        return self.schedule_at(self._now + delay, callback, name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule {name or callback!r} at t={time:.6f} "
+                f"before current time t={self._now:.6f}"
+            )
+        event = Event(time, self._seq, callback, name)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Fire the next non-cancelled event; return it, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self._cancelled_skipped += 1
+                continue
+            self._now = event.time
+            self._fired += 1
+            event.fire()
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time; the
+            clock is advanced to ``until`` (events *at* ``until`` fire).
+        max_events:
+            Safety valve for tests: stop after this many fired events.
+
+        Returns the number of events fired by this call.  At least one
+        of ``until`` / ``max_events`` must be given, otherwise the loop
+        could only end by draining the heap — usually a hang in a
+        self-rescheduling simulation.
+        """
+        if until is None and max_events is None:
+            raise SimulationError("run() needs an 'until' time or a max_events bound")
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run() call)")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    self._cancelled_skipped += 1
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                self._fired += 1
+                fired += 1
+                head.fire()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def peek_time(self) -> Optional[float]:
+        """Fire time of the next pending event, skipping cancelled ones."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled_skipped += 1
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Engine(now={self._now:.3f}, pending={len(self._heap)}, "
+            f"fired={self._fired})"
+        )

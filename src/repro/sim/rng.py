@@ -1,0 +1,95 @@
+"""Deterministic random-stream management.
+
+Simulations need *independent* random streams per concern (topology,
+workload, storage eviction, ...) so that changing how many numbers one
+subsystem draws does not perturb every other subsystem — otherwise a
+sweep over, say, upload capacity would also silently re-randomize peer
+interests and the curves would be noise, not signal.
+
+:class:`RandomSource` wraps the root seed and hands out named
+sub-streams derived with a stable hash, so ``RandomSource(7).stream("x")``
+is the same sequence on every platform and Python version (we avoid
+``hash()`` which is salted per-process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    """Stable 64-bit seed derived from a root seed and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomSource:
+    """A root seed plus a registry of named, independent sub-streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the sub-stream called ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(_derive_seed(self.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "RandomSource":
+        """A child source whose streams are independent of this one's."""
+        return RandomSource(_derive_seed(self.seed, f"spawn:{name}"))
+
+    # Convenience draws on the default stream -------------------------------
+    def uniform_int(self, low: int, high: int, stream: str = "default") -> int:
+        """Inclusive uniform integer draw, matching the paper's uniform(a,b)."""
+        if low > high:
+            raise ValueError(f"uniform_int bounds reversed: [{low}, {high}]")
+        return self.stream(stream).randint(low, high)
+
+    def choice(self, items: Sequence[T], stream: str = "default") -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self.stream(stream).choice(items)
+
+    def sample(self, items: Sequence[T], k: int, stream: str = "default") -> List[T]:
+        return self.stream(stream).sample(items, k)
+
+    def shuffled(self, items: Iterable[T], stream: str = "default") -> List[T]:
+        result = list(items)
+        self.stream(stream).shuffle(result)
+        return result
+
+    def random(self, stream: str = "default") -> float:
+        return self.stream(stream).random()
+
+    def weighted_index(self, weights: Sequence[float], stream: str = "default") -> int:
+        """Index drawn proportionally to ``weights`` (need not sum to 1).
+
+        Implemented by inverse-CDF walk; raises :class:`ValueError` on
+        empty or non-positive total weight because a silent fallback
+        would skew popularity distributions undetectably.
+        """
+        total = 0.0
+        for w in weights:
+            if w < 0:
+                raise ValueError(f"negative weight {w} in weighted_index")
+            total += w
+        if not weights or total <= 0.0:
+            raise ValueError("weighted_index needs positive total weight")
+        point = self.stream(stream).random() * total
+        acc = 0.0
+        for index, w in enumerate(weights):
+            acc += w
+            if point < acc:
+                return index
+        return len(weights) - 1  # floating-point edge: point == total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomSource(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,236 @@
+"""End-to-end simulation assembly.
+
+:class:`FileSharingSimulation` turns a
+:class:`~repro.config.SimulationConfig` into a fully wired system —
+catalog, lookup oracle, peers with interests, stores, initial placement,
+workloads and periodic processes — runs the event loop, and reduces the
+metrics to a :class:`~repro.metrics.summary.SimulationSummary`.
+
+Typical use::
+
+    from repro import FileSharingSimulation, SimulationConfig
+
+    config = SimulationConfig(exchange_mechanism="2-5-way", seed=7)
+    result = FileSharingSimulation(config).run()
+    print(result.summary.mean_download_time_sharers_min)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import SimulationConfig
+from repro.content.catalog import Catalog
+from repro.content.interests import build_interest_profile
+from repro.content.placement import place_objects_for_peer
+from repro.content.popularity import PopularityCache, RankPopularity
+from repro.content.storage import ObjectStore
+from repro.content.workload import RequestGenerator
+from repro.context import SimContext
+from repro.core.policies import parse_mechanism
+from repro.errors import SimulationError
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.summary import SimulationSummary, summarize
+from repro.network.behaviors import FREELOADER, SHARER
+from repro.network.lookup import LookupService
+from repro.network.peer import Peer
+from repro.sim.processes import PeriodicProcess
+
+
+@dataclass
+class SimulationResult:
+    """Everything a caller needs after a run."""
+
+    config: SimulationConfig
+    summary: SimulationSummary
+    metrics: MetricsCollector
+    events_fired: int
+    wall_seconds: float
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationResult(mechanism={self.config.exchange_mechanism!r}, "
+            f"sharers={self.summary.mean_download_time_sharers_min}, "
+            f"freeloaders={self.summary.mean_download_time_freeloaders_min})"
+        )
+
+
+class FileSharingSimulation:
+    """Builds and runs one simulated file-sharing network."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.ctx = SimContext(config)
+        self.policy = parse_mechanism(config.exchange_mechanism)
+        self.churn = None  # set by build() when churn is enabled
+        self._built = False
+        self._ran = False
+        self._processes: List[PeriodicProcess] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> SimContext:
+        """Construct the whole system; idempotent guard against reuse."""
+        if self._built:
+            raise SimulationError("simulation already built")
+        self._built = True
+        config = self.config
+        ctx = self.ctx
+        rng = ctx.rng
+
+        ctx.catalog = Catalog.build(
+            rng,
+            num_categories=config.num_categories,
+            objects_per_category_min=config.objects_per_category_min,
+            objects_per_category_max=config.objects_per_category_max,
+            object_size_kbit=config.object_size_kbit,
+        )
+        ctx.lookup = LookupService(coverage=config.lookup_coverage)
+
+        category_popularity = RankPopularity(
+            config.num_categories, config.category_factor
+        )
+        placement_cache = PopularityCache()
+        workload_cache = PopularityCache()
+
+        freeloader_ids = set(
+            rng.sample(range(config.num_peers), config.num_freeloaders, stream="behavior")
+        )
+        interest_rand = rng.stream("interests")
+        placement_rand = rng.stream("placement")
+
+        for peer_id in range(config.num_peers):
+            categories = rng.uniform_int(
+                config.categories_per_peer_min,
+                config.categories_per_peer_max,
+                stream="peer-categories",
+            )
+            profile = build_interest_profile(
+                ctx.catalog, category_popularity, interest_rand, categories
+            )
+            capacity = rng.uniform_int(
+                config.storage_min_objects,
+                config.storage_max_objects,
+                stream="peer-storage",
+            )
+            store = ObjectStore(capacity)
+            behavior = FREELOADER if peer_id in freeloader_ids else SHARER
+            peer = Peer(ctx, peer_id, behavior, self.policy, profile, store)
+            placed = place_objects_for_peer(
+                ctx.catalog,
+                profile,
+                store,
+                placement_rand,
+                config.object_factor,
+                placement_cache,
+                fill_fraction=config.initial_fill_fraction,
+            )
+            if behavior.shares:
+                for object_id in placed:
+                    ctx.lookup.register(peer_id, object_id)
+            workload = RequestGenerator(
+                ctx.catalog,
+                profile,
+                rng.stream(f"workload{peer_id}"),
+                config.object_factor,
+                is_known=self._make_is_known(peer),
+                is_locatable=self._make_is_locatable(ctx),
+                popularity_cache=workload_cache,
+            )
+            peer.attach_workload(workload)
+            ctx.peers[peer_id] = peer
+
+        self._start_processes()
+        self._bootstrap()
+        if config.churn_enabled:
+            from repro.network.churn import ChurnModel
+
+            self.churn = ChurnModel(
+                ctx,
+                list(ctx.peers.values()),
+                mean_online=config.churn_mean_online,
+                mean_offline=config.churn_mean_offline,
+                rand=rng.stream("churn"),
+            )
+        return ctx
+
+    @staticmethod
+    def _make_is_known(peer: Peer):
+        def is_known(object_id: int) -> bool:
+            return object_id in peer.store or object_id in peer.pending
+
+        return is_known
+
+    @staticmethod
+    def _make_is_locatable(ctx: SimContext):
+        def is_locatable(object_id: int) -> bool:
+            return ctx.lookup.provider_count(object_id) > 0
+
+        return is_locatable
+
+    def _start_processes(self) -> None:
+        config = self.config
+        engine = self.ctx.engine
+        stagger = self.ctx.rng.stream("stagger")
+        for peer in self.ctx.peers.values():
+            self._processes.append(
+                PeriodicProcess(
+                    engine,
+                    config.scan_interval,
+                    peer.scan,
+                    name=f"scan.p{peer.peer_id}",
+                    start_delay=stagger.random() * config.scan_interval,
+                )
+            )
+            self._processes.append(
+                PeriodicProcess(
+                    engine,
+                    config.storage_check_interval,
+                    peer.storage_check,
+                    name=f"storage.p{peer.peer_id}",
+                    start_delay=stagger.random() * config.storage_check_interval,
+                )
+            )
+
+    def _bootstrap(self) -> None:
+        """Stagger initial request bursts over the bootstrap window."""
+        stagger = self.ctx.rng.stream("bootstrap")
+        window = self.config.bootstrap_window
+        for peer in self.ctx.peers.values():
+            delay = stagger.random() * window if window > 0 else 0.0
+            self.ctx.engine.schedule(
+                delay, peer.fill_pending, name=f"bootstrap.p{peer.peer_id}"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Build (if needed), run to ``config.duration``, summarize."""
+        if self._ran:
+            raise SimulationError("simulation already ran; build a new one")
+        if not self._built:
+            self.build()
+        self._ran = True
+        started = time.perf_counter()
+        self.ctx.engine.run(until=self.config.duration)
+        for process in self._processes:
+            process.stop()
+        wall = time.perf_counter() - started
+        summary = summarize(
+            self.ctx.metrics,
+            warmup=self.config.warmup,
+            num_sharers=self.config.num_sharers,
+            num_freeloaders=self.config.num_freeloaders,
+        )
+        return SimulationResult(
+            config=self.config,
+            summary=summary,
+            metrics=self.ctx.metrics,
+            events_fired=self.ctx.engine.events_fired,
+            wall_seconds=wall,
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """One-call convenience wrapper."""
+    return FileSharingSimulation(config).run()

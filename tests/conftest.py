@@ -1,0 +1,17 @@
+"""Shared pytest fixtures (factories live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_ctx, tiny_catalog
+
+
+@pytest.fixture
+def ctx():
+    return make_ctx()
+
+
+@pytest.fixture
+def catalog():
+    return tiny_catalog()

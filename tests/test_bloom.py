@@ -1,0 +1,147 @@
+"""Tests for the Bloom filter and the §V Bloom request-tree summaries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.bloom_tree import (
+    BloomTreeSummary,
+    false_positive_probe,
+    full_tree_wire_size,
+    resolve_ring,
+)
+from repro.core.irq import IncomingRequestQueue, RequestEntry
+from repro.core.request_tree import RequestTreeNode
+from repro.errors import ConfigError
+
+
+def node(peer_id, object_id, *children):
+    return RequestTreeNode(peer_id, object_id, tuple(children))
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(bits=128, num_hashes=3)
+        for item in range(30):
+            bloom.add(item)
+        for item in range(30):
+            assert item in bloom
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(bits=128, num_hashes=3)
+        assert 7 not in bloom
+        assert bloom.expected_false_positive_rate() == 0.0
+
+    def test_size_bytes(self):
+        assert BloomFilter(bits=256, num_hashes=3).size_bytes == 32
+        assert BloomFilter(bits=9, num_hashes=1).size_bytes == 2
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(bits=64, num_hashes=2)
+        before = bloom.fill_ratio()
+        bloom.add(1)
+        assert bloom.fill_ratio() > before
+
+    def test_fp_rate_reasonable(self):
+        # 256 bits, 16 items, optimal k: fp rate should be modest and the
+        # empirical rate in the same ballpark as the analytic estimate.
+        k = optimal_num_hashes(256, 16)
+        bloom = BloomFilter(bits=256, num_hashes=k)
+        members = set(range(16))
+        bloom.update(members)
+        false_hits = sum(1 for probe in range(1000, 3000) if probe in bloom)
+        empirical = false_hits / 2000
+        assert empirical < 0.1
+        assert bloom.expected_false_positive_rate() < 0.1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(bits=0, num_hashes=1)
+        with pytest.raises(ConfigError):
+            BloomFilter(bits=8, num_hashes=0)
+        with pytest.raises(ConfigError):
+            optimal_num_hashes(0, 5)
+
+    @settings(max_examples=30)
+    @given(items=st.sets(st.integers(min_value=0, max_value=10**9), max_size=40))
+    def test_membership_property(self, items):
+        bloom = BloomFilter(bits=512, num_hashes=4)
+        bloom.update(items)
+        assert all(item in bloom for item in items)
+
+
+class TestBloomTreeSummary:
+    def _tree(self):
+        # root 1 -> {2 -> {4}, 3}
+        return node(1, None, node(2, 20, node(4, 44)), node(3, 30))
+
+    def test_levels_capture_depths(self):
+        summary = BloomTreeSummary.from_tree(self._tree(), max_levels=3)
+        assert summary.depth_candidates(2) == [0]
+        assert summary.depth_candidates(3) == [0]
+        assert summary.depth_candidates(4) == [1]
+        assert summary.root_peer_id == 1
+
+    def test_root_special_cased(self):
+        summary = BloomTreeSummary.from_tree(self._tree(), max_levels=3)
+        assert summary.depth_candidates(1) == [-1]
+        assert summary.may_contain(1)
+
+    def test_absent_peer_usually_absent(self):
+        summary = BloomTreeSummary.from_tree(self._tree(), max_levels=3)
+        misses = sum(1 for peer in range(1000, 1100) if not summary.may_contain(peer))
+        assert misses > 90  # a few false positives are allowed by design
+
+    def test_trimmed_drops_deepest_level(self):
+        summary = BloomTreeSummary.from_tree(self._tree(), max_levels=3)
+        trimmed = summary.trimmed()
+        assert len(trimmed.levels) == 2
+        assert trimmed.root_peer_id == 1
+
+    def test_wire_size_beats_full_tree(self):
+        # A realistic snapshot: 60 nodes of 20-byte ids vs 4 level filters.
+        wide = node(
+            1,
+            None,
+            *[node(10 + i, 100 + i, *[node(50 + i * 3 + j, 500 + j) for j in range(2)])
+              for i in range(20)],
+        )
+        summary = BloomTreeSummary.from_tree(wide, max_levels=4, bits_per_level=256)
+        assert summary.size_bytes < full_tree_wire_size(wide)
+
+    def test_false_positive_probe(self):
+        summary = BloomTreeSummary.from_tree(self._tree(), max_levels=3)
+        false_positives, probes = false_positive_probe(
+            summary, present={2, 3, 4}, universe=range(100, 400)
+        )
+        assert probes == 300
+        assert false_positives / probes < 0.1
+
+
+class TestResolveRing:
+    def _irq(self):
+        irq = IncomingRequestQueue(capacity=10)
+        tree = node(2, None, node(4, 44))
+        irq.add(RequestEntry(2, 20, 0.0, tree=tree))
+        return irq
+
+    def test_resolves_live_path(self):
+        resolution = resolve_ring(1, self._irq(), target_peer_id=4, max_depth=3)
+        assert resolution.success
+        assert resolution.path == (2, 4)
+
+    def test_depth_limit_respected(self):
+        resolution = resolve_ring(1, self._irq(), target_peer_id=4, max_depth=1)
+        assert not resolution.success
+        assert resolution.failure_reason == "no-live-path"
+
+    def test_zero_depth_fails_fast(self):
+        resolution = resolve_ring(1, self._irq(), target_peer_id=4, max_depth=0)
+        assert not resolution.success
+        assert resolution.failure_reason == "max-depth-exhausted"
+
+    def test_missing_target_fails(self):
+        resolution = resolve_ring(1, self._irq(), target_peer_id=99, max_depth=5)
+        assert not resolution.success

@@ -1,0 +1,115 @@
+"""Tests for the churn extension (peer online/offline sessions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.records import TerminationReason
+from repro.network.churn import bring_peer_online, take_peer_offline
+from repro.simulation import FileSharingSimulation, run_simulation
+
+from tests.helpers import build_peer, give, make_ctx, small_config
+
+
+class TestOfflineTransitions:
+    def test_offline_terminates_uploads_and_unpublishes(self):
+        ctx = make_ctx()
+        provider = build_peer(ctx, 0, mechanism="none")
+        requester = build_peer(ctx, 1, mechanism="none")
+        give(ctx, provider, 0)
+        requester.start_download(ctx.catalog.object(0))
+        ctx.engine.run(until=1.0)
+        assert requester.pending[0].active_sources == 1
+
+        take_peer_offline(provider)
+        assert not provider.online
+        assert requester.pending[0].active_sources == 0
+        assert ctx.lookup.providers(0, exclude=-1) == set()
+        offline_sessions = [
+            s for s in ctx.metrics.sessions
+            if s.reason is TerminationReason.PEER_OFFLINE
+        ]
+        assert len(offline_sessions) == 1
+
+    def test_offline_requester_withdraws_registrations(self):
+        ctx = make_ctx()
+        provider = build_peer(ctx, 0, mechanism="none")
+        requester = build_peer(ctx, 1, mechanism="none")
+        give(ctx, provider, 0)
+        download = requester.start_download(ctx.catalog.object(0))
+        take_peer_offline(requester)
+        assert download.registered_at == set()
+        assert (1, 0) not in provider.irq
+
+    def test_offline_breaks_rings(self):
+        ctx = make_ctx()
+        a = build_peer(ctx, 0)
+        b = build_peer(ctx, 1)
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        a.start_download(ctx.catalog.object(1))
+        b.start_download(ctx.catalog.object(0))
+        ctx.engine.run(until=1.0)
+        assert a.exchange_upload_count == 1
+        take_peer_offline(b)
+        assert a.exchange_upload_count == 0
+
+    def test_online_republishes_store(self):
+        ctx = make_ctx()
+        peer = build_peer(ctx, 0, mechanism="none")
+        give(ctx, peer, 0)
+        take_peer_offline(peer)
+        assert ctx.lookup.providers(0, exclude=-1) == set()
+        bring_peer_online(peer)
+        assert ctx.lookup.providers(0, exclude=-1) == {0}
+
+    def test_transitions_idempotent(self):
+        ctx = make_ctx()
+        peer = build_peer(ctx, 0, mechanism="none")
+        give(ctx, peer, 0)
+        take_peer_offline(peer)
+        take_peer_offline(peer)  # no-op, must not raise
+        bring_peer_online(peer)
+        bring_peer_online(peer)
+        assert peer.online
+
+
+class TestChurnedSimulation:
+    def test_churned_run_completes_downloads(self):
+        config = small_config(
+            churn_enabled=True,
+            churn_mean_online=3_000.0,
+            churn_mean_offline=500.0,
+            exchange_mechanism="2-5-way",
+            seed=13,
+        )
+        result = run_simulation(config)
+        assert result.summary.counters.get("churn.offline", 0) > 0
+        assert result.summary.counters.get("churn.online", 0) > 0
+        assert result.summary.completed_downloads_sharers > 0
+        offline_reasons = result.metrics.reason_counts().get(
+            TerminationReason.PEER_OFFLINE, 0
+        )
+        assert offline_reasons > 0
+
+    def test_churn_is_deterministic(self):
+        config = small_config(
+            churn_enabled=True, duration=4_000.0, seed=13
+        )
+        first = run_simulation(config)
+        second = run_simulation(config)
+        assert (
+            first.summary.counters.get("churn.offline")
+            == second.summary.counters.get("churn.offline")
+        )
+        assert len(first.metrics.sessions) == len(second.metrics.sessions)
+
+    def test_churn_model_built_only_when_enabled(self):
+        sim = FileSharingSimulation(small_config())
+        sim.build()
+        assert sim.churn is None
+
+    def test_bad_churn_means_rejected(self):
+        with pytest.raises(ConfigError):
+            small_config(churn_enabled=True, churn_mean_online=0.0)

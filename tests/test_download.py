@@ -1,0 +1,136 @@
+"""Unit tests for the download block ledger."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.content.catalog import ContentObject
+from repro.errors import ProtocolError
+from repro.network.download import DownloadState
+
+
+def make_download(total_blocks=8):
+    obj = ContentObject(object_id=1, category_id=0, rank=1, size_kbit=8192.0)
+    return DownloadState(peer_id=1, obj=obj, request_time=0.0, total_blocks=total_blocks)
+
+
+class TestBlockLedger:
+    def test_initial_state(self):
+        download = make_download(8)
+        assert download.unassigned_blocks == 8
+        assert download.delivered_blocks == 0
+        assert download.in_flight_blocks == 0
+        assert not download.completed
+
+    def test_take_assigns(self):
+        download = make_download(2)
+        assert download.take_block()
+        assert download.unassigned_blocks == 1
+        assert download.in_flight_blocks == 1
+
+    def test_take_exhausts(self):
+        download = make_download(1)
+        assert download.take_block()
+        assert not download.take_block()
+
+    def test_return_restores(self):
+        download = make_download(2)
+        download.take_block()
+        download.return_block()
+        assert download.unassigned_blocks == 2
+        assert download.in_flight_blocks == 0
+
+    def test_return_without_flight_raises(self):
+        with pytest.raises(ProtocolError):
+            make_download(2).return_block()
+
+    def test_deliver_completes(self):
+        download = make_download(2)
+        download.take_block()
+        assert download.deliver_block() is False
+        download.take_block()
+        assert download.deliver_block() is True
+        assert download.completed
+
+    def test_deliver_without_flight_raises(self):
+        with pytest.raises(ProtocolError):
+            make_download(2).deliver_block()
+
+    def test_deliver_after_completion_raises(self):
+        download = make_download(1)
+        download.take_block()
+        download.deliver_block()
+        with pytest.raises(ProtocolError):
+            download.deliver_block()
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_download(0)
+
+    @settings(max_examples=40)
+    @given(
+        total=st.integers(min_value=1, max_value=30),
+        script=st.lists(st.sampled_from(["take", "return", "deliver"]), max_size=100),
+    )
+    def test_ledger_invariants(self, total, script):
+        download = make_download(total)
+        for action in script:
+            if action == "take":
+                download.take_block()
+            elif action == "return" and download.in_flight_blocks > 0:
+                download.return_block()
+            elif (
+                action == "deliver"
+                and download.in_flight_blocks > 0
+                and not download.completed
+            ):
+                download.deliver_block()
+            assert (
+                download.unassigned_blocks
+                + download.in_flight_blocks
+                + download.delivered_blocks
+                == total
+            )
+            assert download.unassigned_blocks >= 0
+            assert download.in_flight_blocks >= 0
+            assert download.completed == (download.delivered_blocks == total)
+
+
+class _FakeTransfer:
+    def __init__(self, provider_id, is_exchange=False):
+        class _P:
+            pass
+
+        self.provider = _P()
+        self.provider.peer_id = provider_id
+        self.is_exchange = is_exchange
+
+
+class TestTransferBookkeeping:
+    def test_attach_detach(self):
+        download = make_download()
+        transfer = _FakeTransfer(5)
+        download.attach_transfer(transfer)
+        assert download.transfer_from(5) is transfer
+        assert download.active_sources == 1
+        download.detach_transfer(transfer)
+        assert download.transfer_from(5) is None
+
+    def test_duplicate_provider_rejected(self):
+        download = make_download()
+        download.attach_transfer(_FakeTransfer(5))
+        with pytest.raises(ProtocolError):
+            download.attach_transfer(_FakeTransfer(5))
+
+    def test_detach_unknown_rejected(self):
+        download = make_download()
+        with pytest.raises(ProtocolError):
+            download.detach_transfer(_FakeTransfer(5))
+
+    def test_has_exchange_transfer(self):
+        download = make_download()
+        download.attach_transfer(_FakeTransfer(5, is_exchange=False))
+        assert not download.has_exchange_transfer
+        download.attach_transfer(_FakeTransfer(6, is_exchange=True))
+        assert download.has_exchange_transfer

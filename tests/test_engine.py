@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_schedule_returns_event_with_fire_time(self):
+        engine = Engine()
+        event = engine.schedule(3.5, lambda: None, name="x")
+        assert event.time == 3.5
+        assert event.name == "x"
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SchedulingError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run(until=5.0)
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_schedule_at_current_time_allowed(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(0.0, lambda: fired.append(1))
+        engine.run(until=0.0)
+        assert fired == [1]
+
+
+class TestExecution:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.run(until=10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = Engine()
+        order = []
+        for label in ("first", "second", "third"):
+            engine.schedule(1.0, lambda l=label: order.append(l))
+        engine.run(until=1.0)
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(4.25, lambda: seen.append(engine.now))
+        engine.run(until=10.0)
+        assert seen == [4.25]
+
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run(until=2.0)
+        assert fired == [1]
+        assert engine.now == 2.0  # clock advanced to the horizon
+
+    def test_event_at_horizon_fires(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append(1))
+        engine.run(until=2.0)
+        assert fired == [1]
+
+    def test_run_requires_bound(self):
+        with pytest.raises(SimulationError):
+            Engine().run()
+
+    def test_max_events_bound(self):
+        engine = Engine()
+        fired = []
+
+        def reschedule():
+            fired.append(engine.now)
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(1.0, reschedule)
+        count = engine.run(max_events=5)
+        assert count == 5
+        assert len(fired) == 5
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = Engine()
+        order = []
+
+        def outer():
+            order.append("outer")
+            engine.schedule(0.0, lambda: order.append("inner"))
+
+        engine.schedule(1.0, outer)
+        engine.run(until=1.0)
+        assert order == ["outer", "inner"]
+
+    def test_step_returns_fired_event(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None, name="only")
+        event = engine.step()
+        assert event is not None and event.name == "only"
+        assert engine.step() is None
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def nested():
+            engine.run(until=10.0)
+
+        engine.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            engine.run(until=5.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        engine.run(until=5.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        event = engine.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancelled_events_not_counted_as_fired(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.events_fired == 1
+
+    def test_peek_time_skips_cancelled(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.schedule(2.0, lambda: None)
+        assert engine.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Engine().peek_time() is None
+
+
+class TestPropertyBased:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_firing_times_are_sorted(self, delays):
+        engine = Engine()
+        times = []
+        for delay in delays:
+            engine.schedule(delay, lambda: times.append(engine.now))
+        engine.run(until=1001.0)
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        ),
+        cancel_index=st.integers(min_value=0, max_value=29),
+    )
+    def test_cancelling_one_leaves_others(self, delays, cancel_index):
+        engine = Engine()
+        fired = []
+        events = [
+            engine.schedule(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        victim = events[cancel_index % len(events)]
+        victim.cancel()
+        engine.run(until=101.0)
+        assert len(fired) == len(delays) - 1
+        assert (cancel_index % len(delays)) not in fired

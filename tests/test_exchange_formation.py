@@ -1,0 +1,250 @@
+"""Integration tests: exchange search + token pass + commit on live peers.
+
+These tests wire small hand-built networks (2-5 peers) and drive the
+event loop, asserting the mechanics the paper describes: pairwise
+detection via the IRQ, n-way detection via request trees, priority over
+(and preemption of) non-exchange transfers, and the one-exchange-per-
+request rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import exchange_manager
+from repro.metrics.records import TerminationReason, TrafficClass
+
+from tests.helpers import build_peer, give, make_ctx, small_config
+
+
+def pump(ctx, seconds=1.0):
+    """Run the zero-delay passes plus a little simulated time."""
+    ctx.engine.run(until=ctx.engine.now + seconds)
+
+
+class TestPairwiseFormation:
+    def _mutual_want_network(self, mechanism="pairwise"):
+        ctx = make_ctx()
+        a = build_peer(ctx, 1, mechanism=mechanism)
+        b = build_peer(ctx, 2, mechanism=mechanism)
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        return ctx, a, b
+
+    def test_receive_side_detection_forms_ring(self):
+        ctx, a, b = self._mutual_want_network()
+        a.start_download(ctx.catalog.object(1))  # A wants 1 (B has it)
+        b.start_download(ctx.catalog.object(0))  # B wants 0 (A has it)
+        pump(ctx)
+        a_dl = a.pending.get(1)
+        b_dl = b.pending.get(0)
+        assert a_dl is not None and a_dl.has_exchange_transfer
+        assert b_dl is not None and b_dl.has_exchange_transfer
+        assert ctx.metrics.counters["ring.formed.size2"] == 1
+
+    def test_exchange_transfers_both_directions(self):
+        ctx, a, b = self._mutual_want_network()
+        a.start_download(ctx.catalog.object(1))
+        b.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        assert a.exchange_upload_count == 1
+        assert b.exchange_upload_count == 1
+
+    def test_no_exchange_policy_never_forms(self):
+        ctx, a, b = self._mutual_want_network(mechanism="none")
+        a.start_download(ctx.catalog.object(1))
+        b.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        assert ctx.metrics.counters["ring.formed"] == 0
+        # Normal service still happens on spare slots.
+        assert a.pending[1].active_sources == 1
+
+    def test_freeloader_cannot_join_exchange(self):
+        ctx = make_ctx()
+        a = build_peer(ctx, 1)
+        freeloader = build_peer(ctx, 2, shares=False)
+        give(ctx, a, 0)
+        give(ctx, freeloader, 1)  # stored but invisible
+        a.start_download(ctx.catalog.object(1))
+        freeloader.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        assert ctx.metrics.counters["ring.formed"] == 0
+        # The freeloader is still served, but only as a normal transfer.
+        fl_download = freeloader.pending[0]
+        assert fl_download.active_sources == 1
+        transfer = next(iter(fl_download.transfers.values()))
+        assert not transfer.is_exchange
+
+    def test_exchange_completes_objects(self):
+        ctx, a, b = self._mutual_want_network()
+        a.start_download(ctx.catalog.object(1))
+        b.start_download(ctx.catalog.object(0))
+        # 4096 kbit object / 1024 kbit blocks / 10 kbit/s slot = 4 blocks
+        # x 102.4 s = 409.6 s per direction.
+        ctx.engine.run(until=1000.0)
+        assert 1 in a.store
+        assert 0 in b.store
+
+    def test_replaces_normal_transfer_with_exchange(self):
+        ctx = make_ctx()
+        a = build_peer(ctx, 1)
+        b = build_peer(ctx, 2)
+        give(ctx, a, 0)
+        a.policy = b.policy
+        # B requests first; A serves it normally (B has nothing A wants yet).
+        b.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        assert b.pending[0].active_sources == 1
+        assert not b.pending[0].has_exchange_transfer
+        # Now B acquires an object A wants; A's next request detects the
+        # pairwise exchange and replaces the normal session.
+        give(ctx, b, 1)
+        a.start_download(ctx.catalog.object(1))
+        pump(ctx)
+        assert b.pending[0].has_exchange_transfer
+        replaced = [
+            s
+            for s in ctx.metrics.sessions
+            if s.reason is TerminationReason.REPLACED_BY_EXCHANGE
+        ]
+        assert len(replaced) == 1
+
+
+class TestRingFormation:
+    def test_three_way_ring_via_request_tree(self):
+        # C wants what B has, B wants what A has, A wants what C has.
+        ctx = make_ctx()
+        a = build_peer(ctx, 1, mechanism="2-5-way")
+        b = build_peer(ctx, 2, mechanism="2-5-way")
+        c = build_peer(ctx, 3, mechanism="2-5-way")
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        give(ctx, c, 2)
+        # Register in an order that builds the tree chain:
+        # C requests 1 from B (B's IRQ gains C), then B requests 0 from A
+        # carrying its tree (A's IRQ sees B with child C).  When A then
+        # wants object 2 (held by C), the 3-ring closes.
+        c.start_download(ctx.catalog.object(1))
+        pump(ctx)
+        b.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        a.start_download(ctx.catalog.object(2))
+        pump(ctx)
+        assert ctx.metrics.counters["ring.formed.size3"] == 1
+        for peer, obj in ((a, 2), (b, 0), (c, 1)):
+            assert peer.pending[obj].has_exchange_transfer
+
+    def test_pairwise_policy_ignores_three_way(self):
+        ctx = make_ctx()
+        a = build_peer(ctx, 1, mechanism="pairwise")
+        b = build_peer(ctx, 2, mechanism="pairwise")
+        c = build_peer(ctx, 3, mechanism="pairwise")
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        give(ctx, c, 2)
+        c.start_download(ctx.catalog.object(1))
+        pump(ctx)
+        b.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        a.start_download(ctx.catalog.object(2))
+        pump(ctx)
+        assert ctx.metrics.counters["ring.formed"] == 0
+
+    def test_ring_break_terminates_siblings(self):
+        ctx = make_ctx()
+        a = build_peer(ctx, 1, mechanism="2-5-way")
+        b = build_peer(ctx, 2, mechanism="2-5-way")
+        c = build_peer(ctx, 3, mechanism="2-5-way")
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        give(ctx, c, 2)
+        c.start_download(ctx.catalog.object(1))
+        pump(ctx)
+        b.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        a.start_download(ctx.catalog.object(2))
+        pump(ctx)
+        assert ctx.metrics.counters["ring.formed.size3"] == 1
+        # Give A a head start elsewhere: complete A's download by force —
+        # simplest is to run until the ring finishes one full object; all
+        # three complete simultaneously here, so instead break by evicting.
+        b.store.unpin_all = None  # (no-op marker; eviction below)
+        # Evict C's object mid-exchange is impossible (pinned); instead
+        # take C offline, which the next block delivery does not check —
+        # so force-break by terminating one member transfer directly.
+        victim = next(iter(a.pending[2].transfers.values()))
+        victim.terminate(TerminationReason.PEER_OFFLINE)
+        broken = [
+            s
+            for s in ctx.metrics.sessions
+            if s.reason is TerminationReason.RING_BROKEN
+        ]
+        assert len(broken) == 2
+
+
+class TestOneExchangePerRequest:
+    def test_second_exchange_for_same_want_rejected(self):
+        ctx = make_ctx()
+        a = build_peer(ctx, 1)
+        b = build_peer(ctx, 2)
+        c = build_peer(ctx, 3)
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        give(ctx, c, 1)  # C also has object 1
+        give(ctx, a, 4)
+        a.start_download(ctx.catalog.object(1))
+        b.start_download(ctx.catalog.object(0))
+        c.start_download(ctx.catalog.object(4))
+        pump(ctx)
+        # A's want for object 1 must be served by exactly one exchange.
+        exchange_sources = [
+            t for t in a.pending[1].transfers.values() if t.is_exchange
+        ]
+        assert len(exchange_sources) == 1
+        assert ctx.metrics.counters["ring.reject.already-exchanging"] >= 0
+
+
+class TestPreemption:
+    def test_exchange_preempts_normal_upload(self):
+        config = small_config(upload_capacity_kbit=10.0)  # a single slot
+        ctx = make_ctx(config)
+        a = build_peer(ctx, 1)
+        b = build_peer(ctx, 2)
+        free = build_peer(ctx, 3, shares=False)
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        # The freeloader grabs A's only slot first.
+        free.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        assert free.pending[0].active_sources == 1
+        # Mutual wants appear; the exchange must reclaim A's slot.
+        a.start_download(ctx.catalog.object(1))
+        b.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        assert a.exchange_upload_count == 1
+        preempted = [
+            s
+            for s in ctx.metrics.sessions
+            if s.reason is TerminationReason.PREEMPTED
+        ]
+        assert len(preempted) == 1
+        assert preempted[0].requester_id == 3
+        # The freeloader's request went back into A's queue.
+        assert (3, 0) in a.irq
+
+    def test_preempted_request_resumes_when_capacity_returns(self):
+        config = small_config(upload_capacity_kbit=10.0)
+        ctx = make_ctx(config)
+        a = build_peer(ctx, 1)
+        b = build_peer(ctx, 2)
+        free = build_peer(ctx, 3, shares=False)
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        free.start_download(ctx.catalog.object(0))
+        pump(ctx)
+        a.start_download(ctx.catalog.object(1))
+        b.start_download(ctx.catalog.object(0))
+        # Run until the exchange completes both 4-block objects and the
+        # freeloader's request gets served again on the freed slot.
+        ctx.engine.run(until=3000.0)
+        assert 0 in free.store or free.pending[0].active_sources == 1

@@ -1,0 +1,146 @@
+"""Unit tests for interest profiles and the request workload."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.content.interests import InterestProfile, build_interest_profile
+from repro.content.popularity import RankPopularity
+from repro.content.workload import RequestGenerator, pending_and_stored_filter
+from repro.errors import ConfigError
+
+from tests.helpers import tiny_catalog
+
+
+class TestInterestProfile:
+    def test_weights_normalized(self):
+        profile = InterestProfile([0, 1], [3.0, 1.0])
+        assert profile.weights == pytest.approx((0.75, 0.25))
+
+    def test_choose_category_respects_weights(self):
+        profile = InterestProfile([5, 9], [1.0, 0.0])
+        rand = random.Random(0)
+        assert {profile.choose_category(rand) for _ in range(50)} == {5}
+
+    def test_contains(self):
+        profile = InterestProfile([2, 4], [1.0, 1.0])
+        assert 2 in profile
+        assert 3 not in profile
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            InterestProfile([], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            InterestProfile([1, 2], [1.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigError):
+            InterestProfile([1, 1], [1.0, 1.0])
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ConfigError):
+            InterestProfile([1, 2], [0.0, 0.0])
+
+
+class TestBuildInterestProfile:
+    def test_builds_requested_count(self):
+        catalog = tiny_catalog(num_categories=10)
+        popularity = RankPopularity(10, 0.2)
+        profile = build_interest_profile(catalog, popularity, random.Random(1), 4)
+        assert len(profile.category_ids) == 4
+        assert len(set(profile.category_ids)) == 4
+
+    def test_caps_at_catalog_size(self):
+        catalog = tiny_catalog(num_categories=3)
+        popularity = RankPopularity(3, 0.2)
+        profile = build_interest_profile(catalog, popularity, random.Random(1), 99)
+        assert sorted(profile.category_ids) == [0, 1, 2]
+
+    def test_popular_categories_chosen_more_often(self):
+        catalog = tiny_catalog(num_categories=20)
+        popularity = RankPopularity(20, 1.0)  # strongly skewed
+        rand = random.Random(7)
+        first_counts = 0
+        trials = 300
+        for _ in range(trials):
+            profile = build_interest_profile(catalog, popularity, rand, 1)
+            if profile.category_ids[0] == 0:  # rank-1 category
+                first_counts += 1
+        # Rank-1 probability under zipf-20 is ~0.28; uniform would be 0.05.
+        assert first_counts / trials > 0.15
+
+    def test_rejects_non_positive_count(self):
+        catalog = tiny_catalog()
+        popularity = RankPopularity(3, 0.2)
+        with pytest.raises(ConfigError):
+            build_interest_profile(catalog, popularity, random.Random(1), 0)
+
+
+class TestRequestGenerator:
+    def _generator(self, known=frozenset(), locatable=None, factor=0.2, seed=3):
+        catalog = tiny_catalog(num_categories=3, objects_per_category=4)
+        profile = InterestProfile([0, 1, 2], [1.0, 1.0, 1.0])
+        return RequestGenerator(
+            catalog,
+            profile,
+            random.Random(seed),
+            factor,
+            is_known=lambda oid: oid in known,
+            is_locatable=locatable,
+        )
+
+    def test_draws_objects_from_interest_categories(self):
+        generator = self._generator()
+        for _ in range(20):
+            obj = generator.draw_candidate()
+            assert obj.category_id in (0, 1, 2)
+
+    def test_skips_known_objects(self):
+        # Objects 0..7 known; only category 2 (ids 8..11) remains.
+        generator = self._generator(known=frozenset(range(8)))
+        for _ in range(10):
+            obj = generator.next_request()
+            assert obj is not None
+            assert obj.object_id >= 8
+        assert generator.hits_skipped > 0
+
+    def test_skips_unlocatable_objects(self):
+        generator = self._generator(locatable=lambda oid: oid == 5)
+        obj = generator.next_request()
+        assert obj is not None and obj.object_id == 5
+        assert generator.unlocatable_skipped > 0
+
+    def test_returns_none_when_everything_known(self):
+        generator = self._generator(known=frozenset(range(12)))
+        assert generator.next_request() is None
+
+    def test_returns_none_when_nothing_locatable(self):
+        generator = self._generator(locatable=lambda oid: False)
+        assert generator.next_request() is None
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ConfigError):
+            self._generator(factor=-1.0)
+
+    def test_pending_and_stored_filter_sees_live_sets(self):
+        stored, pending = set(), set()
+        is_known = pending_and_stored_filter(stored, pending)
+        assert not is_known(7)
+        stored.add(7)
+        assert is_known(7)
+        stored.discard(7)
+        pending.add(7)
+        assert is_known(7)
+
+    @settings(max_examples=25)
+    @given(known=st.sets(st.integers(min_value=0, max_value=11), max_size=11))
+    def test_next_request_never_returns_known(self, known):
+        generator = self._generator(known=frozenset(known))
+        obj = generator.next_request()
+        if obj is not None:
+            assert obj.object_id not in known

@@ -1,0 +1,102 @@
+"""Unit tests for the lookup oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import LookupError_
+from repro.network.lookup import LookupService
+
+
+class TestIndexMaintenance:
+    def test_register_and_providers(self):
+        lookup = LookupService()
+        lookup.register(1, 100)
+        lookup.register(2, 100)
+        assert lookup.providers(100) == {1, 2}
+        assert lookup.provider_count(100) == 2
+
+    def test_unregister(self):
+        lookup = LookupService()
+        lookup.register(1, 100)
+        lookup.unregister(1, 100)
+        assert lookup.providers(100) == set()
+        assert lookup.objects_indexed() == 0
+
+    def test_unregister_unknown_raises(self):
+        lookup = LookupService()
+        with pytest.raises(LookupError_):
+            lookup.unregister(1, 100)
+
+    def test_unregister_all(self):
+        lookup = LookupService()
+        lookup.register(1, 100)
+        lookup.register(1, 101)
+        lookup.unregister_all(1, [100, 101])
+        assert lookup.objects_indexed() == 0
+
+    def test_providers_excludes_requested_peer(self):
+        lookup = LookupService()
+        lookup.register(1, 100)
+        lookup.register(2, 100)
+        assert lookup.providers(100, exclude=1) == {2}
+
+    def test_providers_unknown_object_empty(self):
+        assert LookupService().providers(5) == set()
+
+
+class TestFindProviders:
+    def test_excludes_requester(self):
+        lookup = LookupService()
+        lookup.register(1, 100)
+        lookup.register(2, 100)
+        found = lookup.find_providers(100, requester_id=1, rand=random.Random(0))
+        assert found == [2]
+
+    def test_full_coverage_returns_all_shuffled(self):
+        lookup = LookupService(coverage=1.0)
+        for peer in range(10):
+            lookup.register(peer, 100)
+        found = lookup.find_providers(100, requester_id=99, rand=random.Random(0))
+        assert sorted(found) == list(range(10))
+
+    def test_partial_coverage_returns_fraction(self):
+        lookup = LookupService(coverage=0.5)
+        for peer in range(10):
+            lookup.register(peer, 100)
+        found = lookup.find_providers(100, requester_id=99, rand=random.Random(0))
+        assert len(found) == 5
+        assert len(set(found)) == 5
+
+    def test_partial_coverage_returns_at_least_one(self):
+        lookup = LookupService(coverage=0.01)
+        lookup.register(1, 100)
+        found = lookup.find_providers(100, requester_id=99, rand=random.Random(0))
+        assert found == [1]
+
+    def test_no_providers_empty(self):
+        lookup = LookupService()
+        assert lookup.find_providers(100, 1, random.Random(0)) == []
+
+    def test_deterministic_under_seed(self):
+        lookup = LookupService(coverage=0.4)
+        for peer in range(20):
+            lookup.register(peer, 100)
+        a = lookup.find_providers(100, 99, random.Random(7))
+        b = lookup.find_providers(100, 99, random.Random(7))
+        assert a == b
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(LookupError_):
+            LookupService(coverage=0.0)
+        with pytest.raises(LookupError_):
+            LookupService(coverage=1.0001)
+
+    def test_lookup_counter(self):
+        lookup = LookupService()
+        lookup.register(1, 100)
+        lookup.find_providers(100, 2, random.Random(0))
+        lookup.find_providers(100, 2, random.Random(0))
+        assert lookup.lookups_served == 2

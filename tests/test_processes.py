@@ -1,0 +1,85 @@
+"""Unit tests for periodic processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.processes import PeriodicProcess, every
+
+
+class TestPeriodicProcess:
+    def test_fires_every_interval(self):
+        engine = Engine()
+        times = []
+        every(engine, 10.0, lambda: times.append(engine.now))
+        engine.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_custom_start_delay(self):
+        engine = Engine()
+        times = []
+        every(engine, 10.0, lambda: times.append(engine.now), start_delay=3.0)
+        engine.run(until=25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_zero_start_delay_fires_immediately(self):
+        engine = Engine()
+        times = []
+        every(engine, 10.0, lambda: times.append(engine.now), start_delay=0.0)
+        engine.run(until=5.0)
+        assert times == [0.0]
+
+    def test_stop_halts_firing(self):
+        engine = Engine()
+        process = every(engine, 10.0, lambda: None)
+        engine.run(until=15.0)
+        process.stop()
+        engine.run(until=100.0)
+        assert process.fired == 1
+        assert process.stopped
+
+    def test_stop_from_inside_callback(self):
+        engine = Engine()
+        holder = {}
+
+        def callback():
+            holder["process"].stop()
+
+        holder["process"] = every(engine, 10.0, callback)
+        engine.run(until=100.0)
+        assert holder["process"].fired == 1
+
+    def test_callback_exception_does_not_kill_process(self):
+        engine = Engine()
+        count = [0]
+
+        def flaky():
+            count[0] += 1
+            if count[0] == 1:
+                raise RuntimeError("transient")
+
+        every(engine, 10.0, flaky)
+        with pytest.raises(RuntimeError):
+            engine.run(until=100.0)
+        # The next firing was scheduled before the exception propagated.
+        engine.run(until=100.0)
+        assert count[0] > 1
+
+    def test_non_positive_interval_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            PeriodicProcess(engine, 0.0, lambda: None)
+
+    def test_jitter_applied(self):
+        engine = Engine()
+        times = []
+        PeriodicProcess(
+            engine,
+            10.0,
+            lambda: times.append(engine.now),
+            jitter_fn=lambda: 1.0,
+        )
+        engine.run(until=30.0)
+        assert times == [11.0, 22.0]

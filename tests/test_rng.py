@@ -1,0 +1,107 @@
+"""Unit tests for deterministic random-stream management."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomSource, _derive_seed
+
+
+class TestStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(7).stream("x")
+        b = RandomSource(7).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_different_sequences(self):
+        source = RandomSource(7)
+        xs = [source.stream("x").random() for _ in range(10)]
+        ys = [source.stream("y").random() for _ in range(10)]
+        assert xs != ys
+
+    def test_different_seeds_different_sequences(self):
+        xs = [RandomSource(1).stream("x").random() for _ in range(10)]
+        ys = [RandomSource(2).stream("x").random() for _ in range(10)]
+        assert xs != ys
+
+    def test_stream_is_cached(self):
+        source = RandomSource(7)
+        assert source.stream("x") is source.stream("x")
+
+    def test_draws_on_one_stream_do_not_disturb_another(self):
+        reference = RandomSource(7)
+        expected = [reference.stream("b").random() for _ in range(5)]
+
+        source = RandomSource(7)
+        for _ in range(100):
+            source.stream("a").random()  # heavy traffic on another stream
+        observed = [source.stream("b").random() for _ in range(5)]
+        assert observed == expected
+
+    def test_spawn_independent(self):
+        parent = RandomSource(7)
+        child = parent.spawn("child")
+        assert child.seed != parent.seed
+        # Same spawn name reproduces the same child.
+        assert parent.spawn("child").seed == child.seed
+
+    def test_derive_seed_stable(self):
+        # Regression pin: the derivation must never change across
+        # versions, or every recorded experiment result shifts.
+        assert _derive_seed(0, "x") == _derive_seed(0, "x")
+        assert _derive_seed(0, "x") != _derive_seed(0, "y")
+
+
+class TestConvenienceDraws:
+    def test_uniform_int_bounds_inclusive(self):
+        source = RandomSource(3)
+        draws = {source.uniform_int(1, 3) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+    def test_uniform_int_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(3).uniform_int(5, 2)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(3).choice([])
+
+    def test_sample_returns_distinct(self):
+        result = RandomSource(3).sample(list(range(10)), 5)
+        assert len(set(result)) == 5
+
+    def test_shuffled_preserves_elements(self):
+        items = list(range(20))
+        result = RandomSource(3).shuffled(items)
+        assert sorted(result) == items
+        assert result is not items
+
+    def test_weighted_index_respects_zero_weights(self):
+        source = RandomSource(3)
+        draws = {source.weighted_index([0.0, 1.0, 0.0]) for _ in range(50)}
+        assert draws == {1}
+
+    def test_weighted_index_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomSource(3).weighted_index([])
+
+    def test_weighted_index_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RandomSource(3).weighted_index([1.0, -0.5])
+
+    def test_weighted_index_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            RandomSource(3).weighted_index([0.0, 0.0])
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_weighted_index_in_range(self, weights, seed):
+        index = RandomSource(seed).weighted_index(weights)
+        assert 0 <= index < len(weights)

@@ -1,0 +1,227 @@
+"""Tests for the §III-B security models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.security.blacklist import (
+    CooperativeBlacklist,
+    LocalBlacklist,
+    cheap_pseudonym_gain,
+)
+from repro.security.checksums import Block, BlockValidator, ChecksumService
+from repro.security.mediator import EncryptedBlock, MediatedExchange, Mediator
+from repro.security.middleman import (
+    capacity_exchange_rates,
+    mixed_exchange_is_pareto_improvement,
+    run_middleman_attack,
+    table1_scenario,
+)
+from repro.security.windows import (
+    WindowedExchange,
+    max_exchange_rate,
+    simulate_defection,
+    window_for_rate,
+)
+
+
+class TestChecksums:
+    def test_valid_block_accepted(self):
+        validator = BlockValidator(ChecksumService())
+        assert validator.validate(Block(object_id=1, index=0, valid=True))
+        assert validator.valid_accepted == 1
+
+    def test_junk_block_detected(self):
+        validator = BlockValidator(ChecksumService())
+        assert not validator.validate(Block(object_id=1, index=0, valid=False))
+        assert validator.junk_detected == 1
+        assert validator.detection_rate == 1.0
+
+    def test_negative_index_rejected(self):
+        validator = BlockValidator(ChecksumService())
+        with pytest.raises(ProtocolError):
+            validator.validate(Block(object_id=1, index=-1))
+
+    def test_detection_rate_mixed(self):
+        validator = BlockValidator(ChecksumService())
+        validator.validate(Block(1, 0, valid=True))
+        validator.validate(Block(1, 1, valid=False))
+        assert validator.detection_rate == 0.5
+
+
+class TestWindows:
+    def test_paper_rate_bound(self):
+        # S_block / T_rtt with window 1.
+        assert max_exchange_rate(256.0, 0.5, window=1) == pytest.approx(512.0)
+
+    def test_window_scales_rate(self):
+        assert max_exchange_rate(256.0, 0.5, window=4) == pytest.approx(2048.0)
+
+    def test_window_for_rate(self):
+        # 10 kbit/s slot, 256 kbit blocks, 0.2s rtt: window 1 suffices.
+        assert window_for_rate(256.0, 0.2, 10.0) == 1
+        # Tiny blocks and long rtt need a bigger window.
+        assert window_for_rate(1.0, 1.0, 10.0) == 16
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtocolError):
+            max_exchange_rate(0.0, 1.0)
+        with pytest.raises(ProtocolError):
+            max_exchange_rate(1.0, 0.0)
+        with pytest.raises(ProtocolError):
+            max_exchange_rate(1.0, 1.0, window=0)
+
+    def test_window_doubles_on_honest_rounds(self):
+        exchange = WindowedExchange(BlockValidator(ChecksumService()), max_window=8)
+        exchange.run_round([Block(1, 0, valid=True)])
+        assert exchange.window == 2
+        exchange.run_round([Block(1, 1, valid=True), Block(1, 2, valid=True)])
+        assert exchange.window == 4
+
+    def test_immediate_defector_gains_one_block(self):
+        exchange = simulate_defection(defect_round=0)
+        assert exchange.blocks_lost_to_cheater == 1
+        assert exchange.aborted
+
+    def test_haul_bounded_by_window(self):
+        for defect_round in range(5):
+            exchange = simulate_defection(defect_round, max_window=8)
+            assert exchange.blocks_lost_to_cheater <= 8
+            assert exchange.blocks_lost_to_cheater <= 2 ** defect_round
+
+    def test_overfull_round_rejected(self):
+        exchange = WindowedExchange(BlockValidator(ChecksumService()))
+        with pytest.raises(ProtocolError):
+            exchange.run_round([Block(1, 0), Block(1, 1)])  # window is 1
+
+    def test_aborted_exchange_refuses_rounds(self):
+        exchange = simulate_defection(defect_round=0)
+        with pytest.raises(ProtocolError):
+            exchange.run_round([])
+
+
+class TestBlacklists:
+    def test_local_blacklist(self):
+        blacklist = LocalBlacklist(owner_id=1)
+        blacklist.report(9)
+        assert not blacklist.allows(9)
+        assert blacklist.allows(8)
+        assert blacklist.refusals == 1
+
+    def test_local_no_self_ban(self):
+        with pytest.raises(ProtocolError):
+            LocalBlacklist(owner_id=1).report(1)
+
+    def test_cooperative_threshold(self):
+        shared = CooperativeBlacklist(report_threshold=2)
+        shared.report(1, 9)
+        assert shared.allows(9)  # one report is not enough
+        shared.report(2, 9)
+        assert not shared.allows(9)
+        assert shared.reporters_of(9) == {1, 2}
+
+    def test_cooperative_duplicate_reporter_counts_once(self):
+        shared = CooperativeBlacklist(report_threshold=2)
+        shared.report(1, 9)
+        shared.report(1, 9)
+        assert shared.allows(9)
+
+    def test_cooperative_ignores_self_reports(self):
+        shared = CooperativeBlacklist()
+        with pytest.raises(ProtocolError):
+            shared.report(9, 9)
+
+    def test_cheap_pseudonyms(self):
+        assert cheap_pseudonym_gain(100, False, 20) == 2000
+        assert cheap_pseudonym_gain(100, True, 20) == 20
+        with pytest.raises(ProtocolError):
+            cheap_pseudonym_gain(-1, True, 1)
+
+
+class TestMediator:
+    def test_honest_exchange_releases_keys_to_both(self):
+        mediator = Mediator()
+        exchange = MediatedExchange(mediator, peer_a=1, peer_b=2)
+        exchange.transfer(sender_id=1, origin_id=1, object_id=10, blocks=4)
+        exchange.transfer(sender_id=2, origin_id=2, object_id=20, blocks=4)
+        released = exchange.settle()
+        assert released[2] == {1}  # B can decrypt A's data
+        assert released[1] == {2}  # A can decrypt B's data
+
+    def test_cheater_key_withheld(self):
+        mediator = Mediator(sample_size=2)
+        exchange = MediatedExchange(mediator, peer_a=1, peer_b=2)
+        exchange.transfer(sender_id=1, origin_id=1, object_id=10, blocks=4)
+        exchange.transfer(sender_id=2, origin_id=2, object_id=20, blocks=4,
+                          valid=False)
+        released = exchange.settle()
+        # The cheater's stream (sender 2) is junk: its key is withheld,
+        # so peer 1 cannot be defrauded into decrypting garbage... and
+        # peer 2 still receives nothing it could not already read.
+        assert 2 not in released.get(1, set())
+
+    def test_one_sided_session_releases_nothing(self):
+        mediator = Mediator()
+        exchange = MediatedExchange(mediator, peer_a=1, peer_b=2)
+        exchange.transfer(sender_id=1, origin_id=1, object_id=10, blocks=4)
+        assert exchange.settle() == {}
+
+    def test_can_decrypt(self):
+        mediator = Mediator()
+        exchange = MediatedExchange(mediator, peer_a=1, peer_b=2)
+        blocks = exchange.transfer(sender_id=1, origin_id=1, object_id=10, blocks=2)
+        exchange.transfer(sender_id=2, origin_id=2, object_id=20, blocks=2)
+        exchange.settle()
+        assert mediator.can_decrypt(2, blocks[0])
+        assert not mediator.can_decrypt(99, blocks[0])
+
+    def test_unknown_session_rejected(self):
+        mediator = Mediator()
+        with pytest.raises(ProtocolError):
+            mediator.complete_exchange(42)
+        with pytest.raises(ProtocolError):
+            mediator.record_block(42, EncryptedBlock(1, 1, 1, 0))
+
+
+class TestMiddleman:
+    def test_attack_succeeds_without_mediator(self):
+        outcome = run_middleman_attack(blocks=8, use_mediator=False)
+        assert outcome.attack_succeeded
+        assert outcome.middleman_readable == 8
+
+    def test_mediator_starves_the_middleman(self):
+        outcome = run_middleman_attack(blocks=8, use_mediator=True)
+        assert not outcome.attack_succeeded
+        assert outcome.middleman_readable == 0
+        # The true trading endpoints still complete their exchange.
+        assert outcome.endpoints_readable == 16
+
+    def test_table1_matches_paper(self):
+        rows = {p.name: p for p in table1_scenario()}
+        assert rows["A"].upload == 10.0 and rows["A"].has == "-"
+        assert rows["B"].upload == 5.0 and rows["B"].has == "x"
+        assert rows["C"].wants == "x" and rows["D"].wants == "x"
+
+    def test_fig3_rates(self):
+        rates = capacity_exchange_rates()
+        # The paper's outcome: B doubles its receive rate, A joins at 5.
+        assert rates["pure"]["B"]["y"] == 5.0
+        assert rates["mixed"]["B"]["y"] == 10.0
+        assert rates["pure"]["A"]["x"] == 0.0
+        assert rates["mixed"]["A"]["x"] == 5.0
+
+    def test_fig3_upload_budgets_respected(self):
+        # Mixed exchange: B spends 5 (its full uplink), A spends 10,
+        # C and D spend 5 each — nobody exceeds Table I's budget.
+        spent = {"A": 10.0, "B": 5.0, "C": 5.0, "D": 5.0}
+        budgets = {p.name: p.upload for p in table1_scenario()}
+        for name, used in spent.items():
+            assert used <= budgets[name]
+
+    def test_mixed_exchange_is_pareto(self):
+        assert mixed_exchange_is_pareto_improvement()
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_middleman_attack(blocks=0)

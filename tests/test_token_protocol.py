@@ -1,0 +1,119 @@
+"""Unit tests for the ring token validation against live peer state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ring import RingEdge
+from repro.core.token_protocol import (
+    REASON_ALREADY_EXCHANGING,
+    REASON_NO_LONGER_WANTED,
+    REASON_NO_UPLOAD_SLOT,
+    REASON_NOT_SHARING,
+    REASON_OBJECT_GONE,
+    REASON_OFFLINE,
+    validate_ring,
+)
+from repro.errors import TokenValidationFailed
+
+from tests.helpers import build_peer, give, make_ctx
+
+
+@pytest.fixture
+def network():
+    """Two sharers with a mutual pairwise want, ready to validate.
+
+    Peers run the "none" policy so no ring forms on its own — these
+    tests drive validate_ring() directly against hand-built edges.
+    """
+    ctx = make_ctx()
+    a = build_peer(ctx, 1, mechanism="none")
+    b = build_peer(ctx, 2, mechanism="none")
+    give(ctx, a, 0)  # A holds object 0 (B wants it)
+    give(ctx, b, 1)  # B holds object 1 (A wants it)
+    a.start_download(ctx.catalog.object(1))
+    b.start_download(ctx.catalog.object(0))
+    edges = [
+        RingEdge(requester_id=2, provider_id=1, object_id=0),
+        RingEdge(requester_id=1, provider_id=2, object_id=1),
+    ]
+    return ctx, a, b, edges
+
+
+class TestValidateRing:
+    def test_valid_ring_passes(self, network):
+        ctx, _a, _b, edges = network
+        validate_ring(ctx, edges)  # must not raise
+
+    def test_offline_provider_vetoes(self, network):
+        ctx, a, _b, edges = network
+        a.online = False
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.reason == REASON_OFFLINE
+
+    def test_non_sharing_provider_vetoes(self, network):
+        ctx, _a, _b, edges = network
+        freeloader = build_peer(ctx, 3, shares=False)
+        give(ctx, freeloader, 0)  # stored but never shared
+        bad = [
+            RingEdge(requester_id=2, provider_id=3, object_id=0),
+            RingEdge(requester_id=3, provider_id=2, object_id=1),
+        ]
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, bad)
+        assert info.value.reason == REASON_NOT_SHARING
+
+    def test_evicted_object_vetoes(self, network):
+        ctx, a, _b, edges = network
+        a.store.remove(0)
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.reason == REASON_OBJECT_GONE
+
+    def test_satisfied_requester_vetoes(self, network):
+        ctx, _a, b, edges = network
+        b.pending.clear()  # B no longer wants anything
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.reason == REASON_NO_LONGER_WANTED
+
+    def test_exchange_saturated_provider_vetoes(self, network):
+        ctx, a, _b, edges = network
+        a._exchange_uploads = a.upload_pool.total  # all slots exchange-committed
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.reason == REASON_NO_UPLOAD_SLOT
+
+    def test_full_normal_slots_do_not_veto(self, network):
+        # Non-exchange uploads are preemptible, so a provider whose slots
+        # are all occupied by NORMAL transfers still validates.
+        ctx, a, _b, edges = network
+        a.upload_pool.in_use = a.upload_pool.total
+        assert a.exchange_upload_count == 0
+        validate_ring(ctx, edges)  # must not raise
+
+    def test_want_already_in_exchange_vetoes(self, network):
+        ctx, _a, b, edges = network
+
+        class _FakeExchangeTransfer:
+            is_exchange = True
+
+            def __init__(self):
+                class _P:
+                    peer_id = 99
+
+                self.provider = _P()
+
+        b.pending[0].transfers[99] = _FakeExchangeTransfer()
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.reason == REASON_ALREADY_EXCHANGING
+
+    def test_failure_reports_offending_peer(self, network):
+        ctx, a, _b, edges = network
+        a.online = False
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.peer_id == 1
+        assert "peer 1" in str(info.value)

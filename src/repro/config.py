@@ -239,6 +239,15 @@ class SimulationConfig:
         """A new config with the given fields overridden (re-validated)."""
         return dataclasses.replace(self, **overrides)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Every field as a JSON-safe dict, in declaration order.
+
+        The experiment orchestrator hashes this to key its on-disk
+        result cache, so the representation must be deterministic: same
+        config → same dict → same fingerprint across processes.
+        """
+        return dataclasses.asdict(self)
+
     def describe(self) -> str:
         """Multi-line human-readable dump (mirrors the paper's Table II)."""
         lines = ["SimulationConfig:"]

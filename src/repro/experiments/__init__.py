@@ -1,15 +1,37 @@
 """Experiment harness: one entry point per paper table/figure.
 
-Each figure of the paper's evaluation (§IV-B) has a function in
-:mod:`repro.experiments.figures` that builds the parameter sweep from a
-scale preset, runs the simulations and returns a
-:class:`~repro.experiments.report.SeriesTable` shaped like the paper's
-plot.  The ``repro-experiments`` CLI (:mod:`repro.experiments.runner`)
-runs them from the command line; the benchmarks wrap them with
-qualitative shape assertions.
+Each figure of the paper's evaluation (§IV-B) has a declarative
+:class:`~repro.experiments.figures.FigureSpec` — a grid of independent
+``(config, seed)`` cells plus an assembly step — that the orchestrator
+(:mod:`repro.experiments.orchestrator`) schedules serially or across a
+process pool, with optional multi-seed replication and an on-disk
+result cache.  The ``repro-experiments`` CLI
+(:mod:`repro.experiments.runner`) runs them from the command line; the
+benchmarks wrap them with qualitative shape assertions.
 """
 
-from repro.experiments.presets import SCALES, preset
-from repro.experiments.report import SeriesTable
+from repro.experiments.orchestrator import (
+    MemoryCache,
+    ResultCache,
+    config_fingerprint,
+    run_figure,
+    run_figures,
+    run_grid,
+)
+from repro.experiments.presets import SCALES, SWEEP_GRIDS, preset, sweep
+from repro.experiments.report import SeriesTable, aggregate_tables
 
-__all__ = ["SCALES", "SeriesTable", "preset"]
+__all__ = [
+    "SCALES",
+    "SWEEP_GRIDS",
+    "SeriesTable",
+    "MemoryCache",
+    "ResultCache",
+    "aggregate_tables",
+    "config_fingerprint",
+    "preset",
+    "run_figure",
+    "run_figures",
+    "run_grid",
+    "sweep",
+]

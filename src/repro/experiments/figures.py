@@ -1,9 +1,19 @@
 """Per-figure experiment definitions (paper §IV-B, Figs. 4-12).
 
-Every function runs the sweep behind one figure of the paper and
-returns a :class:`~repro.experiments.report.SeriesTable` whose columns
-mirror the figure's legend.  Mean download times are in minutes,
-volumes in MB, waiting times in minutes — the paper's units.
+Every figure of the paper is described by a :class:`FigureSpec`: a
+*declarative* grid of independent ``cell key → SimulationConfig`` pairs
+plus an ``assemble`` step that folds the per-cell
+:class:`~repro.metrics.summary.SimulationSummary` objects into a
+:class:`~repro.experiments.report.SeriesTable` whose columns mirror the
+figure's legend.  Mean download times are in minutes, volumes in MB,
+waiting times in minutes — the paper's units.
+
+Because every cell is an independent simulation, the orchestrator
+(:mod:`repro.experiments.orchestrator`) can run a figure's grid — or
+all figures' grids — in any order, across a process pool, and against a
+result cache, and still assemble tables bit-identical to a serial run:
+the cells are deterministic functions of their config (which includes
+the seed).
 
 The ``scale`` argument selects a preset from
 :mod:`repro.experiments.presets`; ``seed`` feeds the deterministic RNG
@@ -12,18 +22,39 @@ so every run is reproducible bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
-from repro.errors import ConfigError
-from repro.experiments.presets import preset
+from repro.experiments.presets import CATEGORY_GRID, preset, sweep
 from repro.experiments.report import SeriesTable
 from repro.metrics.cdf import EmpiricalCDF
-from repro.simulation import SimulationResult, run_simulation
+from repro.metrics.summary import SimulationSummary
 
 #: The paper's four mechanisms, in its legend order.
 MECHANISMS = ("pairwise", "5-2-way", "2-5-way")
 CDF_CLASSES = ("non-exchange", "pairwise", "3-way", "4-way", "5-way")
+
+#: One figure's work: unique cell key → the config that produces it.
+CellGrid = Dict[str, SimulationConfig]
+#: What ``assemble`` receives: one summary per cell key.
+CellSummaries = Mapping[str, SimulationSummary]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Declarative description of one figure's experiment.
+
+    ``build_grid(scale, seed)`` lists every simulation the figure needs;
+    ``assemble(scale, seed, summaries)`` turns the finished cells into
+    the figure's table.  Keeping the two pure and side-effect-free is
+    what lets the orchestrator schedule cells freely.
+    """
+
+    figure_id: str
+    description: str
+    build_grid: Callable[[str, int], CellGrid]
+    assemble: Callable[[str, int, CellSummaries], SeriesTable]
 
 
 def _mechanism_columns() -> List[str]:
@@ -35,75 +66,67 @@ def _mechanism_columns() -> List[str]:
     return columns
 
 
-def _download_time_row(results: Dict[str, SimulationResult]) -> Dict[str, Optional[float]]:
-    """Extract the per-mechanism sharing/non-sharing download times."""
+def _download_time_row(
+    summaries: CellSummaries, key_for: Callable[[str], str]
+) -> Dict[str, Optional[float]]:
+    """Per-mechanism sharing/non-sharing download times for one x."""
     row: Dict[str, Optional[float]] = {}
     for mechanism in MECHANISMS:
-        summary = results[mechanism].summary
+        summary = summaries[key_for(mechanism)]
         row[f"{mechanism}/sharing"] = summary.mean_download_time_sharers_min
         row[f"{mechanism}/non-sharing"] = summary.mean_download_time_freeloaders_min
-    row["no-exchange"] = results["none"].summary.mean_download_time_all_min
+    row["no-exchange"] = summaries[key_for("none")].mean_download_time_all_min
     return row
-
-
-def _run_mechanism_grid(
-    config_for: Callable[[str], SimulationConfig]
-) -> Dict[str, SimulationResult]:
-    return {
-        mechanism: run_simulation(config_for(mechanism))
-        for mechanism in MECHANISMS + ("none",)
-    }
 
 
 # ---------------------------------------------------------------------------
 # Fig. 4 / Fig. 5 — sweep over upload capacity
 # ---------------------------------------------------------------------------
 
-#: The paper sweeps 40..140 kbit/s; smoke uses a 3-point subset for speed.
-CAPACITY_GRID = {"paper": (140.0, 120.0, 100.0, 80.0, 60.0, 40.0),
-                 "small": (120.0, 80.0, 40.0),
-                 "smoke": (120.0, 80.0, 40.0)}
-
-
-def fig4_download_time_vs_capacity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 4: mean download time vs upload capacity, per mechanism/class."""
-    table = SeriesTable(
-        "Fig.4 mean download time (min) vs upload capacity (kbit/s)",
-        "upload_kbit",
-        _mechanism_columns(),
-    )
-    for capacity in CAPACITY_GRID[scale]:
-        results = _run_mechanism_grid(
-            lambda mechanism: preset(
+def _capacity_grid(scale: str, seed: int, mechanisms: Sequence[str]) -> CellGrid:
+    grid: CellGrid = {}
+    for capacity in sweep("capacity", scale):
+        for mechanism in mechanisms:
+            grid[f"cap={capacity:g}/{mechanism}"] = preset(
                 scale,
                 exchange_mechanism=mechanism,
                 upload_capacity_kbit=capacity,
                 seed=seed,
             )
-        )
-        table.add_row(capacity, _download_time_row(results))
+    return grid
+
+
+def _fig4_grid(scale: str, seed: int) -> CellGrid:
+    return _capacity_grid(scale, seed, MECHANISMS + ("none",))
+
+
+def _fig4_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    table = SeriesTable(
+        "Fig.4 mean download time (min) vs upload capacity (kbit/s)",
+        "upload_kbit",
+        _mechanism_columns(),
+    )
+    for capacity in sweep("capacity", scale):
+        row = _download_time_row(summaries, lambda m: f"cap={capacity:g}/{m}")
+        table.add_row(capacity, row)
     return table
 
 
-def fig5_exchange_fraction_vs_capacity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 5: fraction of exchange sessions vs upload capacity."""
+def _fig5_grid(scale: str, seed: int) -> CellGrid:
+    return _capacity_grid(scale, seed, MECHANISMS)
+
+
+def _fig5_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
     table = SeriesTable(
         "Fig.5 fraction of exchange sessions vs upload capacity (kbit/s)",
         "upload_kbit",
         list(MECHANISMS),
     )
-    for capacity in CAPACITY_GRID[scale]:
+    for capacity in sweep("capacity", scale):
         row: Dict[str, Optional[float]] = {}
         for mechanism in MECHANISMS:
-            result = run_simulation(
-                preset(
-                    scale,
-                    exchange_mechanism=mechanism,
-                    upload_capacity_kbit=capacity,
-                    seed=seed,
-                )
-            )
-            row[mechanism] = result.summary.exchange_session_fraction
+            summary = summaries[f"cap={capacity:g}/{mechanism}"]
+            row[mechanism] = summary.exchange_session_fraction
         table.add_row(capacity, row)
     return table
 
@@ -112,12 +135,25 @@ def fig5_exchange_fraction_vs_capacity(scale: str = "smoke", seed: int = 42) -> 
 # Fig. 6 — sweep over the maximum ring size N
 # ---------------------------------------------------------------------------
 
-RING_SIZE_GRID = {"paper": (1, 2, 3, 4, 5, 6, 7), "small": (1, 2, 3, 5, 7),
-                  "smoke": (2, 3, 5)}
+def _fig6_mechanism(family: str, n: int) -> str:
+    if n < 2:
+        return "none"  # N=1: no feasible ring, the paper's leftmost point
+    if n == 2:
+        return "pairwise"
+    return f"{n}-2-way" if family == "N-2-way" else f"2-{n}-way"
 
 
-def fig6_ring_size_sweep(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 6: download time vs max ring size, N-2-way and 2-N-way."""
+def _fig6_grid(scale: str, seed: int) -> CellGrid:
+    grid: CellGrid = {}
+    for n in sweep("ring_size", scale):
+        for family in ("N-2-way", "2-N-way"):
+            grid[f"N={n}/{family}"] = preset(
+                scale, exchange_mechanism=_fig6_mechanism(family, n), seed=seed
+            )
+    return grid
+
+
+def _fig6_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
     table = SeriesTable(
         "Fig.6 mean download time (min) vs maximum exchange ring size N",
         "max_ring_N",
@@ -128,17 +164,10 @@ def fig6_ring_size_sweep(scale: str = "smoke", seed: int = 42) -> SeriesTable:
             "2-N-way/non-sharing",
         ],
     )
-    for n in RING_SIZE_GRID[scale]:
+    for n in sweep("ring_size", scale):
         row: Dict[str, Optional[float]] = {}
-        for family, spec in (("N-2-way", f"{n}-2-way"), ("2-N-way", f"2-{n}-way")):
-            if n < 2:
-                spec = "none"  # N=1: no feasible ring, the paper's leftmost point
-            if n == 2:
-                spec = "pairwise"
-            result = run_simulation(
-                preset(scale, exchange_mechanism=spec, seed=seed)
-            )
-            summary = result.summary
+        for family in ("N-2-way", "2-N-way"):
+            summary = summaries[f"N={n}/{family}"]
             row[f"{family}/sharing"] = summary.mean_download_time_sharers_min
             row[f"{family}/non-sharing"] = summary.mean_download_time_freeloaders_min
         table.add_row(float(n), row)
@@ -168,10 +197,12 @@ def _class_cdf_table(
     return table
 
 
-def fig7_session_volume_cdf(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 7: CDF of per-session transferred bytes, by traffic class."""
-    result = run_simulation(preset(scale, exchange_mechanism="2-5-way", seed=seed))
-    volumes = result.summary.session_volume_kb_by_class
+def _base_cell_grid(scale: str, seed: int) -> CellGrid:
+    return {"base": preset(scale, exchange_mechanism="2-5-way", seed=seed)}
+
+
+def _fig7_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    volumes = summaries["base"].session_volume_kb_by_class
     top = max((max(v) for v in volumes.values() if v), default=1.0)
     grid = [top * i / 12.0 for i in range(1, 13)]
     return _class_cdf_table(
@@ -182,10 +213,8 @@ def fig7_session_volume_cdf(scale: str = "smoke", seed: int = 42) -> SeriesTable
     )
 
 
-def fig8_waiting_time_cdf(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 8: CDF of session waiting times, by traffic class."""
-    result = run_simulation(preset(scale, exchange_mechanism="2-5-way", seed=seed))
-    waits = result.summary.waiting_time_min_by_class
+def _fig8_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    waits = summaries["base"].waiting_time_min_by_class
     top = max((max(v) for v in waits.values() if v), default=1.0)
     grid = [top * i / 12.0 for i in range(1, 13)]
     return _class_cdf_table(
@@ -200,61 +229,45 @@ def fig8_waiting_time_cdf(scale: str = "smoke", seed: int = 42) -> SeriesTable:
 # Fig. 9 / Fig. 10 — sweep over the popularity factor f
 # ---------------------------------------------------------------------------
 
-FACTOR_GRID = {"paper": (0.0, 0.2, 0.4, 0.6, 0.8, 1.0), "small": (0.0, 0.4, 0.8),
-               "smoke": (0.0, 0.4, 0.8)}
-
-
-def fig9_download_time_vs_popularity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 9: mean download time vs popularity factor f."""
-    table = SeriesTable(
-        "Fig.9 mean download time (min) vs popularity factor f",
-        "factor_f",
-        _mechanism_columns(),
-    )
-    for factor in FACTOR_GRID[scale]:
-        results = _run_mechanism_grid(
-            lambda mechanism: preset(
+def _factor_grid(scale: str, seed: int) -> CellGrid:
+    grid: CellGrid = {}
+    for factor in sweep("factor", scale):
+        for mechanism in MECHANISMS + ("none",):
+            grid[f"f={factor:g}/{mechanism}"] = preset(
                 scale,
                 exchange_mechanism=mechanism,
                 category_factor=factor,
                 object_factor=factor,
                 seed=seed,
             )
-        )
-        table.add_row(factor, _download_time_row(results))
+    return grid
+
+
+def _fig9_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    table = SeriesTable(
+        "Fig.9 mean download time (min) vs popularity factor f",
+        "factor_f",
+        _mechanism_columns(),
+    )
+    for factor in sweep("factor", scale):
+        row = _download_time_row(summaries, lambda m: f"f={factor:g}/{m}")
+        table.add_row(factor, row)
     return table
 
 
-def fig10_volume_vs_popularity(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 10: per-class transfer volume (MB per peer) vs factor f."""
+def _fig10_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
     table = SeriesTable(
         "Fig.10 transfer volume (MB/peer) vs popularity factor f",
         "factor_f",
         _mechanism_columns(),
     )
-    for factor in FACTOR_GRID[scale]:
+    for factor in sweep("factor", scale):
         row: Dict[str, Optional[float]] = {}
         for mechanism in MECHANISMS:
-            summary = run_simulation(
-                preset(
-                    scale,
-                    exchange_mechanism=mechanism,
-                    category_factor=factor,
-                    object_factor=factor,
-                    seed=seed,
-                )
-            ).summary
+            summary = summaries[f"f={factor:g}/{mechanism}"]
             row[f"{mechanism}/sharing"] = summary.volume_per_sharer_mb
             row[f"{mechanism}/non-sharing"] = summary.volume_per_freeloader_mb
-        none_summary = run_simulation(
-            preset(
-                scale,
-                exchange_mechanism="none",
-                category_factor=factor,
-                object_factor=factor,
-                seed=seed,
-            )
-        ).summary
+        none_summary = summaries[f"f={factor:g}/none"]
         row["no-exchange"] = (
             none_summary.volume_per_sharer_mb + none_summary.volume_per_freeloader_mb
         ) / 2.0
@@ -266,38 +279,34 @@ def fig10_volume_vs_popularity(scale: str = "smoke", seed: int = 42) -> SeriesTa
 # Fig. 11 — max outstanding requests x categories per peer
 # ---------------------------------------------------------------------------
 
-PENDING_GRID = {"paper": (2, 3, 4, 5, 6, 7, 8, 9, 10), "small": (2, 4, 6, 10),
-                "smoke": (2, 6, 10)}
-CATEGORY_GRID = (2, 4, 8)
+def _fig11_grid(scale: str, seed: int) -> CellGrid:
+    grid: CellGrid = {}
+    for max_pending in sweep("pending", scale):
+        for categories in CATEGORY_GRID:
+            grid[f"pending={max_pending}/cat={categories}"] = preset(
+                scale,
+                exchange_mechanism="2-5-way",
+                max_pending=max_pending,
+                categories_per_peer_min=categories,
+                categories_per_peer_max=categories,
+                # Run in the loaded regime: the ratio Fig. 11 plots
+                # only separates from 1 when slots are contended.
+                upload_capacity_kbit=40.0,
+                seed=seed,
+            )
+    return grid
 
 
-def fig11_pending_and_categories(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 11: sharing/non-sharing download-time ratio vs max pending.
-
-    One series per categories-per-peer value (2, 4, 8), mechanism fixed
-    to the paper's ring configuration.
-    """
+def _fig11_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
     table = SeriesTable(
         "Fig.11 download-time ratio (non-sharing / sharing) vs max pending requests",
         "max_pending",
         [f"cat/peer={c}" for c in CATEGORY_GRID],
     )
-    for max_pending in PENDING_GRID[scale]:
+    for max_pending in sweep("pending", scale):
         row: Dict[str, Optional[float]] = {}
         for categories in CATEGORY_GRID:
-            summary = run_simulation(
-                preset(
-                    scale,
-                    exchange_mechanism="2-5-way",
-                    max_pending=max_pending,
-                    categories_per_peer_min=categories,
-                    categories_per_peer_max=categories,
-                    # Run in the loaded regime: the ratio Fig. 11 plots
-                    # only separates from 1 when slots are contended.
-                    upload_capacity_kbit=40.0,
-                    seed=seed,
-                )
-            ).summary
+            summary = summaries[f"pending={max_pending}/cat={categories}"]
             row[f"cat/peer={categories}"] = summary.speedup_sharers_vs_freeloaders
         table.add_row(float(max_pending), row)
     return table
@@ -307,49 +316,86 @@ def fig11_pending_and_categories(scale: str = "smoke", seed: int = 42) -> Series
 # Fig. 12 — sweep over the fraction of non-sharing peers
 # ---------------------------------------------------------------------------
 
-FREELOADER_GRID = {"paper": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
-                   "small": (0.1, 0.3, 0.5, 0.7, 0.9),
-                   "smoke": (0.2, 0.5, 0.8)}
-
-
-def fig12_freeloader_fraction(scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Fig. 12: mean download times vs fraction of non-sharing peers."""
-    table = SeriesTable(
-        "Fig.12 mean download time (min) vs fraction of non-sharing peers",
-        "freeloader_fraction",
-        _mechanism_columns(),
-    )
-    for fraction in FREELOADER_GRID[scale]:
-        results = _run_mechanism_grid(
-            lambda mechanism: preset(
+def _fig12_grid(scale: str, seed: int) -> CellGrid:
+    grid: CellGrid = {}
+    for fraction in sweep("freeloader", scale):
+        for mechanism in MECHANISMS + ("none",):
+            grid[f"fl={fraction:g}/{mechanism}"] = preset(
                 scale,
                 exchange_mechanism=mechanism,
                 freeloader_fraction=fraction,
                 seed=seed,
             )
-        )
-        table.add_row(fraction, _download_time_row(results))
+    return grid
+
+
+def _fig12_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    table = SeriesTable(
+        "Fig.12 mean download time (min) vs fraction of non-sharing peers",
+        "freeloader_fraction",
+        _mechanism_columns(),
+    )
+    for fraction in sweep("freeloader", scale):
+        row = _download_time_row(summaries, lambda m: f"fl={fraction:g}/{m}")
+        table.add_row(fraction, row)
     return table
 
 
-#: Registry used by the CLI runner and the benchmarks.
-FIGURES: Dict[str, Callable[[str, int], SeriesTable]] = {
-    "fig4": fig4_download_time_vs_capacity,
-    "fig5": fig5_exchange_fraction_vs_capacity,
-    "fig6": fig6_ring_size_sweep,
-    "fig7": fig7_session_volume_cdf,
-    "fig8": fig8_waiting_time_cdf,
-    "fig9": fig9_download_time_vs_popularity,
-    "fig10": fig10_volume_vs_popularity,
-    "fig11": fig11_pending_and_categories,
-    "fig12": fig12_freeloader_fraction,
+#: Registry used by the orchestrator, the CLI runner and the benchmarks.
+FIGURES: Dict[str, FigureSpec] = {
+    spec.figure_id: spec
+    for spec in (
+        FigureSpec("fig4", "mean download time vs upload capacity",
+                   _fig4_grid, _fig4_assemble),
+        FigureSpec("fig5", "fraction of exchange sessions vs upload capacity",
+                   _fig5_grid, _fig5_assemble),
+        FigureSpec("fig6", "download time vs max ring size N",
+                   _fig6_grid, _fig6_assemble),
+        FigureSpec("fig7", "CDF of per-session volume by traffic class",
+                   _base_cell_grid, _fig7_assemble),
+        FigureSpec("fig8", "CDF of session waiting time by traffic class",
+                   _base_cell_grid, _fig8_assemble),
+        FigureSpec("fig9", "mean download time vs popularity factor",
+                   _factor_grid, _fig9_assemble),
+        FigureSpec("fig10", "transfer volume vs popularity factor",
+                   _factor_grid, _fig10_assemble),
+        FigureSpec("fig11", "download-time ratio vs max pending requests",
+                   _fig11_grid, _fig11_assemble),
+        FigureSpec("fig12", "mean download time vs freeloader fraction",
+                   _fig12_grid, _fig12_assemble),
+    )
 }
 
 
 def run_figure(figure_id: str, scale: str = "smoke", seed: int = 42) -> SeriesTable:
-    """Run one figure's sweep by id (``fig4`` .. ``fig12``)."""
-    if figure_id not in FIGURES:
-        raise ConfigError(
-            f"unknown figure {figure_id!r}; expected one of {sorted(FIGURES)}"
-        )
-    return FIGURES[figure_id](scale, seed)
+    """Run one figure's sweep by id (``fig4`` .. ``fig12``), serially.
+
+    Thin wrapper over the orchestrator with ``jobs=1`` and no cache —
+    the reference path the parallel runs are checked against.  Unknown
+    ids raise :class:`~repro.errors.ConfigError` from the orchestrator.
+    """
+    # Imported here: the orchestrator imports this module for the specs.
+    from repro.experiments.orchestrator import run_figure as _run
+
+    return _run(figure_id, scale=scale, seed=seed)
+
+
+def _figure_entry(figure_id: str) -> Callable[[str, int], SeriesTable]:
+    def entry(scale: str = "smoke", seed: int = 42) -> SeriesTable:
+        return run_figure(figure_id, scale=scale, seed=seed)
+
+    entry.__name__ = f"run_{figure_id}"
+    entry.__doc__ = f"Serial entry point for {figure_id} ({FIGURES[figure_id].description})."
+    return entry
+
+
+# Named entry points kept for the benchmarks and external callers.
+fig4_download_time_vs_capacity = _figure_entry("fig4")
+fig5_exchange_fraction_vs_capacity = _figure_entry("fig5")
+fig6_ring_size_sweep = _figure_entry("fig6")
+fig7_session_volume_cdf = _figure_entry("fig7")
+fig8_waiting_time_cdf = _figure_entry("fig8")
+fig9_download_time_vs_popularity = _figure_entry("fig9")
+fig10_volume_vs_popularity = _figure_entry("fig10")
+fig11_pending_and_categories = _figure_entry("fig11")
+fig12_freeloader_fraction = _figure_entry("fig12")

@@ -62,6 +62,46 @@ SCALES: Dict[str, dict] = {
 }
 
 
+#: Per-scale sweep grids for the figure experiments.  The ``paper`` rows
+#: are the x axes of Figs. 4-12 verbatim; ``small``/``smoke`` subsample
+#: them so a sweep finishes in seconds while keeping the curve's shape.
+SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
+    # Figs. 4/5: upload capacity in kbit/s (the paper sweeps 40..140).
+    "capacity": {
+        "paper": (140.0, 120.0, 100.0, 80.0, 60.0, 40.0),
+        "small": (120.0, 80.0, 40.0),
+        "smoke": (120.0, 80.0, 40.0),
+    },
+    # Fig. 6: maximum exchange ring size N.
+    "ring_size": {
+        "paper": (1, 2, 3, 4, 5, 6, 7),
+        "small": (1, 2, 3, 5, 7),
+        "smoke": (2, 3, 5),
+    },
+    # Figs. 9/10: popularity factor f.
+    "factor": {
+        "paper": (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+        "small": (0.0, 0.4, 0.8),
+        "smoke": (0.0, 0.4, 0.8),
+    },
+    # Fig. 11: maximum outstanding requests per peer.
+    "pending": {
+        "paper": (2, 3, 4, 5, 6, 7, 8, 9, 10),
+        "small": (2, 4, 6, 10),
+        "smoke": (2, 6, 10),
+    },
+    # Fig. 12: fraction of non-sharing peers.
+    "freeloader": {
+        "paper": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        "small": (0.1, 0.3, 0.5, 0.7, 0.9),
+        "smoke": (0.2, 0.5, 0.8),
+    },
+}
+
+#: Fig. 11's secondary dimension: categories of interest per peer.
+CATEGORY_GRID = (2, 4, 8)
+
+
 def preset(scale: str, **overrides) -> SimulationConfig:
     """A :class:`SimulationConfig` for the named scale, plus overrides."""
     if scale not in SCALES:
@@ -71,3 +111,17 @@ def preset(scale: str, **overrides) -> SimulationConfig:
     merged = dict(SCALES[scale])
     merged.update(overrides)
     return SimulationConfig(**merged)
+
+
+def sweep(name: str, scale: str) -> tuple:
+    """The x-axis grid for one named sweep at one scale."""
+    if name not in SWEEP_GRIDS:
+        raise ConfigError(
+            f"unknown sweep {name!r}; expected one of {sorted(SWEEP_GRIDS)}"
+        )
+    grids = SWEEP_GRIDS[name]
+    if scale not in grids:
+        raise ConfigError(
+            f"unknown scale {scale!r}; expected one of {sorted(grids)}"
+        )
+    return grids[scale]

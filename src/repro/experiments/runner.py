@@ -3,10 +3,14 @@
 Usage::
 
     repro-experiments fig4 --scale small --seed 42
-    repro-experiments all --scale smoke --out results/
+    repro-experiments all --scale smoke --jobs 4 --reps 3 --out results/
 
 Prints each figure's series table (the same rows the paper plots) and
-optionally writes them to files for EXPERIMENTS.md.
+optionally writes them to files for EXPERIMENTS.md.  ``--jobs`` fans the
+independent simulation cells out over a process pool, ``--reps`` runs
+every cell under N consecutive seeds and reports mean ± stderr, and the
+on-disk result cache (disable with ``--no-cache``) makes re-runs and
+interrupted sweeps resume instantly.
 """
 
 from __future__ import annotations
@@ -17,8 +21,11 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.figures import FIGURES
+from repro.experiments.orchestrator import MemoryCache, ResultCache, run_figures
 from repro.experiments.presets import SCALES
+
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +45,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        help="replications per cell under seeds seed..seed+N-1; tables "
+        "report mean±stderr (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="directory to write <figure>_<scale>.txt result files into",
@@ -52,15 +82,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.reps < 1:
+        print(f"--reps must be >= 1, got {args.reps}", file=sys.stderr)
+        return 2
     if args.out:
         os.makedirs(args.out, exist_ok=True)
+    # --no-cache still dedupes within this invocation (figures share
+    # cells) — it just keeps everything in memory instead of on disk.
+    cache = MemoryCache() if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(completed: int, total: int) -> None:
+        if sys.stderr.isatty():
+            # Pad so a shorter update fully overwrites a longer one.
+            line = f"  {completed}/{total} cells".ljust(24)
+            end = "\n" if completed == total else "\r"
+            print(line, end=end, file=sys.stderr)
+
+    # One figure at a time so results stream out as they finish — an
+    # interrupted `all` run keeps every completed figure's output.
+    # Cells shared between figures still run once: with the cache on
+    # (the default) later figures resume from the earlier ones' cells.
     for figure_id in figure_ids:
         started = time.perf_counter()
-        table = run_figure(figure_id, scale=args.scale, seed=args.seed)
+        hits_before, misses_before = cache.hits, cache.misses
+        table = run_figures(
+            [figure_id],
+            scale=args.scale,
+            seed=args.seed,
+            reps=args.reps,
+            jobs=args.jobs,
+            cache=cache,
+            progress=progress,
+        )[figure_id]
         elapsed = time.perf_counter() - started
         rendered = table.render()
         print(rendered)
-        print(f"[{figure_id} @ {args.scale}: {elapsed:.1f}s]\n")
+        print(
+            f"[{figure_id} @ {args.scale}: {elapsed:.1f}s, "
+            f"jobs={args.jobs}, reps={args.reps}, "
+            f"cache {cache.hits - hits_before} hit / "
+            f"{cache.misses - misses_before} miss]\n"
+        )
         if args.out:
             path = os.path.join(args.out, f"{figure_id}_{args.scale}.txt")
             with open(path, "w", encoding="utf-8") as handle:

@@ -9,6 +9,7 @@ transfer volume.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -51,12 +52,36 @@ class SimulationSummary:
 
     @property
     def speedup_sharers_vs_freeloaders(self) -> Optional[float]:
-        """Fig. 11's y-axis: freeloader mean time / sharer mean time."""
+        """Fig. 11's y-axis: freeloader mean time / sharer mean time.
+
+        ``None`` means the ratio is undefined: either class recorded no
+        completed downloads, or the sharer mean is exactly zero.  A 0.0
+        sharer mean is legitimate data, not missing data, so the checks
+        are explicit ``is None`` comparisons rather than truthiness.
+        """
         sharers = self.mean_download_time_sharers_min
         freeloaders = self.mean_download_time_freeloaders_min
-        if not sharers or freeloaders is None:
+        if sharers is None or freeloaders is None:
+            return None
+        if sharers == 0.0:
             return None
         return freeloaders / sharers
+
+    # ------------------------------------------------------------------
+    # serialization (used by the experiment orchestrator's result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict holding every field (properties excluded)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationSummary":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown SimulationSummary fields {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
 
 
 def summarize(

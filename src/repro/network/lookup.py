@@ -57,15 +57,16 @@ class LookupService:
         """The *live* provider set (complete, coverage not applied).
 
         Used by the exchange machinery, which the paper allows to reuse
-        "the original provider list"; the set is returned by reference
-        minus exclusions for speed — callers must not mutate it.
+        "the original provider list".  Always returns a fresh copy so
+        callers can never mutate the index through the result, on any
+        path.
         """
         live = self._providers.get(object_id)
         if not live:
             return set()
         if exclude in live:
             return live - {exclude}
-        return live
+        return set(live)
 
     def provider_count(self, object_id: int) -> int:
         return len(self._providers.get(object_id, ()))

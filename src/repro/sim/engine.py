@@ -54,6 +54,11 @@ class Engine:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def cancelled_skipped(self) -> int:
+        """Number of cancelled events discarded while scanning the heap."""
+        return self._cancelled_skipped
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
@@ -115,7 +120,12 @@ class Engine:
         ----------
         until:
             Stop once the next event would fire after this time; the
-            clock is advanced to ``until`` (events *at* ``until`` fire).
+            clock is advanced to ``until`` (events *at* ``until`` fire)
+            unless the loop stopped early on ``max_events`` with
+            undrained events at or before ``until`` — advancing past
+            those would let the clock move backwards on the next
+            :meth:`step`/:meth:`run` and make :meth:`schedule_at`
+            reject still-valid times.
         max_events:
             Safety valve for tests: stop after this many fired events.
 
@@ -149,7 +159,9 @@ class Engine:
         finally:
             self._running = False
         if until is not None and self._now < until:
-            self._now = until
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self._now = until
         return fired
 
     def peek_time(self) -> Optional[float]:

@@ -234,3 +234,16 @@ class FileSharingSimulation:
 def run_simulation(config: SimulationConfig) -> SimulationResult:
     """One-call convenience wrapper."""
     return FileSharingSimulation(config).run()
+
+
+def run_summary(config: SimulationConfig) -> SimulationSummary:
+    """Run one simulation and return only its summary.
+
+    This is the pickle-safe entry point the experiment orchestrator
+    ships to ``multiprocessing`` workers: the argument is a plain frozen
+    dataclass and the return value is a plain dataclass of built-in
+    types, so both cross process boundaries cheaply — unlike the full
+    :class:`SimulationResult`, which drags the entire metrics record
+    store with it.
+    """
+    return run_simulation(config).summary

@@ -130,6 +130,71 @@ class TestExecution:
             engine.run(until=5.0)
 
 
+class TestUntilMaxEventsInterplay:
+    """Regression: run(until=..., max_events=...) must not fast-forward
+    the clock past events still in the heap (the clock would then move
+    backwards on the next step/run and schedule_at would reject valid
+    times)."""
+
+    def _engine_with_ladder(self):
+        engine = Engine()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        return engine, fired
+
+    def test_early_stop_leaves_clock_at_last_fired_event(self):
+        engine, fired = self._engine_with_ladder()
+        engine.run(until=10.0, max_events=2)
+        assert fired == [1.0, 2.0]
+        assert engine.now == 2.0  # not 10.0
+
+    def test_now_never_ahead_of_pending_event(self):
+        engine, _fired = self._engine_with_ladder()
+        engine.run(until=10.0, max_events=2)
+        assert engine.peek_time() is not None
+        assert engine.now <= engine.peek_time()
+
+    def test_resumed_run_fires_remaining_events_in_order(self):
+        engine, fired = self._engine_with_ladder()
+        engine.run(until=10.0, max_events=2)
+        engine.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert engine.now == 10.0  # heap drained: clock reaches the horizon
+
+    def test_step_after_early_stop_does_not_move_clock_backwards(self):
+        engine, _fired = self._engine_with_ladder()
+        engine.run(until=10.0, max_events=2)
+        event = engine.step()
+        assert event is not None and event.time == 3.0
+        assert engine.now == 3.0
+
+    def test_schedule_at_valid_time_after_early_stop(self):
+        engine, fired = self._engine_with_ladder()
+        engine.run(until=10.0, max_events=2)
+        # 2.5 is after the clock (2.0) but before the undrained events;
+        # before the fix the clock sat at 10.0 and this raised.
+        engine.schedule_at(2.5, lambda: fired.append(2.5))
+        engine.run(until=10.0)
+        assert fired == [1.0, 2.0, 2.5, 3.0, 4.0, 5.0]
+
+    def test_clock_advances_when_remaining_events_are_past_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1.0))
+        engine.schedule(20.0, lambda: fired.append(20.0))
+        engine.run(until=10.0, max_events=5)
+        assert fired == [1.0]
+        assert engine.now == 10.0  # nothing pending at or before until
+
+    def test_clock_advances_when_only_cancelled_events_remain(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None).cancel()
+        engine.run(until=10.0, max_events=1)
+        assert engine.now == 10.0  # the cancelled event does not hold it back
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         engine = Engine()
@@ -161,6 +226,24 @@ class TestCancellation:
 
     def test_peek_time_empty(self):
         assert Engine().peek_time() is None
+
+    def test_peek_time_accounts_discarded_cancelled_events(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.schedule(2.0, lambda: None).cancel()
+        engine.schedule(3.0, lambda: None)
+        assert engine.events_pending == 3
+        assert engine.peek_time() == 3.0
+        assert engine.cancelled_skipped == 2
+        assert engine.events_pending == 1  # cancelled heads were popped
+
+    def test_run_accounts_cancelled_skips(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None).cancel()
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.cancelled_skipped == 1
+        assert engine.events_fired == 1
 
 
 class TestPropertyBased:

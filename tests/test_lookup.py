@@ -46,6 +46,21 @@ class TestIndexMaintenance:
     def test_providers_unknown_object_empty(self):
         assert LookupService().providers(5) == set()
 
+    def test_providers_returns_copy_on_every_path(self):
+        # Regression: the no-exclusion path handed out the live set by
+        # reference, so a caller mutation corrupted the index.
+        lookup = LookupService()
+        lookup.register(1, 100)
+        lookup.register(2, 100)
+        for result in (
+            lookup.providers(100),            # no exclusion
+            lookup.providers(100, exclude=1),  # exclusion applied
+            lookup.providers(100, exclude=9),  # exclusion absent from set
+        ):
+            result.clear()
+        assert lookup.providers(100) == {1, 2}
+        assert lookup.provider_count(100) == 2
+
 
 class TestFindProviders:
     def test_excludes_requester(self):

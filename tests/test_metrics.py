@@ -14,7 +14,7 @@ from repro.metrics.records import (
     TerminationReason,
     TrafficClass,
 )
-from repro.metrics.summary import summarize
+from repro.metrics.summary import SimulationSummary, summarize
 
 
 def session(
@@ -205,6 +205,46 @@ class TestSummarize:
         assert summary.mean_download_time_sharers_min is None
         assert summary.exchange_session_fraction is None
         assert summary.speedup_sharers_vs_freeloaders is None
+
+    @staticmethod
+    def _summary_with_means(sharers, freeloaders):
+        return SimulationSummary(
+            mean_download_time_sharers_min=sharers,
+            mean_download_time_freeloaders_min=freeloaders,
+            mean_download_time_all_min=None,
+            completed_downloads_sharers=0,
+            completed_downloads_freeloaders=0,
+            exchange_session_fraction=None,
+        )
+
+    def test_speedup_zero_sharer_mean_is_undefined_not_missing(self):
+        # Regression: `if not sharers` conflated a legitimate 0.0 mean
+        # with missing data and risked dividing by zero.
+        summary = self._summary_with_means(0.0, 5.0)
+        assert summary.speedup_sharers_vs_freeloaders is None
+
+    def test_speedup_zero_freeloader_mean_is_valid_data(self):
+        summary = self._summary_with_means(5.0, 0.0)
+        assert summary.speedup_sharers_vs_freeloaders == 0.0
+
+    def test_speedup_none_either_side_is_none(self):
+        assert self._summary_with_means(None, 5.0).speedup_sharers_vs_freeloaders is None
+        assert self._summary_with_means(5.0, None).speedup_sharers_vs_freeloaders is None
+
+    def test_summary_dict_roundtrip(self):
+        collector = MetricsCollector()
+        collector.record_download(download(sharer=True, complete=60.0))
+        collector.record_session(session(sharer=True))
+        summary = summarize(collector, warmup=0.0, num_sharers=2, num_freeloaders=2)
+        data = summary.to_dict()
+        import json
+
+        restored = SimulationSummary.from_dict(json.loads(json.dumps(data)))
+        assert restored == summary
+
+    def test_summary_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            SimulationSummary.from_dict({"definitely_not_a_field": 1})
 
     def test_warmup_censors_early_records(self):
         collector = MetricsCollector()

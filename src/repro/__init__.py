@@ -45,9 +45,10 @@ from repro.metrics.records import (
     TrafficClass,
 )
 from repro.metrics.summary import SimulationSummary
+from repro.population import PeerClassSpec
 from repro.simulation import FileSharingSimulation, SimulationResult, run_simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CapacityError",
@@ -59,6 +60,7 @@ __all__ = [
     "MetricsError",
     "NoExchangePolicy",
     "PairwiseOnlyPolicy",
+    "PeerClassSpec",
     "ProtocolError",
     "ReproError",
     "RingError",

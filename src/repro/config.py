@@ -19,12 +19,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
 from repro.errors import ConfigError
+from repro.population import PeerClassSpec
 from repro.units import mb_to_kbit
-
-#: Mechanism spec strings accepted by ``exchange_mechanism`` (see
-#: :mod:`repro.core.policies` for the parser; "N-2-way"/"2-N-way" forms
-#: like "5-2-way" are also accepted).
-KNOWN_MECHANISMS = ("none", "pairwise")
 
 
 @dataclass(frozen=True)
@@ -34,6 +30,14 @@ class SimulationConfig:
     # ------------------------------------------------------------- population
     num_peers: int = 200
     freeloader_fraction: float = 0.5
+    #: Declarative heterogeneous population (see :mod:`repro.population`).
+    #: Empty means "derive a two-class sharer/freeloader population from
+    #: the legacy global fields" — every pre-population config keeps
+    #: working, bit-identically.  Non-empty specs may override the
+    #: exchange mechanism, service discipline, link capacities, storage
+    #: and interest breadth per class; ``None`` fields inherit the
+    #: globals below.
+    population: Tuple[PeerClassSpec, ...] = ()
 
     # ------------------------------------------------------------------ links
     download_capacity_kbit: float = 800.0
@@ -106,6 +110,10 @@ class SimulationConfig:
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Accept lists (e.g. from JSON round-trips) but store a tuple so
+        # the config stays hashable and its dict form deterministic.
+        if not isinstance(self.population, tuple):
+            object.__setattr__(self, "population", tuple(self.population))
         self.validate()
 
     # ------------------------------------------------------------------
@@ -234,6 +242,17 @@ class SimulationConfig:
         from repro.core.policies import parse_mechanism
 
         parse_mechanism(self.exchange_mechanism)
+        # Population specs (or the derived legacy two-class split) must
+        # resolve to exact per-class counts covering every peer.
+        from repro.population import resolve_population
+
+        resolve_population(self)
+
+    def resolved_population(self):
+        """Concrete per-class rows (see :func:`repro.population.resolve_population`)."""
+        from repro.population import resolve_population
+
+        return resolve_population(self)
 
     def replace(self, **overrides: Any) -> "SimulationConfig":
         """A new config with the given fields overridden (re-validated)."""

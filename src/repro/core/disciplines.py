@@ -1,0 +1,134 @@
+"""Per-peer service disciplines for non-exchange upload scheduling.
+
+The paper's model serves the IRQ in FIFO order; the two baseline
+incentive schemes it compares against (eMule's pairwise credit, KaZaA's
+self-reported participation level) re-order the queue instead.  Each
+peer owns one :class:`ServiceDiscipline` strategy object that decides
+the service order of its queued entries — which is what lets a single
+simulated network mix disciplines across peer classes, something the
+old global ``scheduler_mode`` string branch could not express.
+
+The discipline also owns the baseline bookkeeping that used to be bolted
+directly onto :class:`~repro.network.peer.Peer`: the per-remote
+:class:`~repro.baselines.credit.CreditLedger` and the
+:class:`~repro.baselines.participation.ParticipationReporter`.  Both are
+maintained under every discipline — the volumes are cheap to track and
+let analyses compare what credit *would* have said — but only the
+matching discipline consults them for ordering.  The KaZaA cheat (a
+free-rider claiming the maximum participation level) is the claimer's
+behaviour, decided when its discipline is built from the config flag —
+not a build-time peek at a global scheduler mode, which would be wrong
+the moment claimer and server run different disciplines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.baselines.credit import CreditLedger
+from repro.baselines.participation import ParticipationReporter, participation_priority
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.irq import RequestEntry
+    from repro.network.peer import Peer
+
+
+class ServiceDiscipline:
+    """Strategy for ordering one peer's queued IRQ entries.
+
+    Subclasses override :meth:`order`; the base class carries the
+    baseline state (credit ledger + participation reporter) every
+    discipline maintains.
+    """
+
+    name = "fifo"
+
+    def __init__(self, peer_id: int, cheats: bool = False) -> None:
+        self.peer_id = peer_id
+        self.credit = CreditLedger(peer_id)
+        self.participation = ParticipationReporter(peer_id, cheats=cheats)
+
+    def order(self, peer: "Peer", entries: List["RequestEntry"]) -> List["RequestEntry"]:
+        """Entries in service order; default: arrival order (FIFO)."""
+        return entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(peer={self.peer_id})"
+
+
+class FifoDiscipline(ServiceDiscipline):
+    """Arrival order — the paper's model."""
+
+    name = "fifo"
+
+
+class CreditDiscipline(ServiceDiscipline):
+    """eMule queue rank: waiting time x local credit modifier."""
+
+    name = "credit"
+
+    def order(self, peer: "Peer", entries: List["RequestEntry"]) -> List["RequestEntry"]:
+        if len(entries) <= 1:
+            return entries
+        now = peer.ctx.now
+        # One second of base waiting keeps the rank multiplicative even
+        # for requests scheduled the instant they arrive (eMule gives
+        # every queued request a base score for the same reason).
+        entries.sort(
+            key=lambda e: -self.credit.rank(e.requester_id, now - e.arrival_time + 1.0)
+        )
+        return entries
+
+
+class ParticipationDiscipline(ServiceDiscipline):
+    """KaZaA claimed participation level, waiting time as tiebreak."""
+
+    name = "participation"
+
+    def order(self, peer: "Peer", entries: List["RequestEntry"]) -> List["RequestEntry"]:
+        if len(entries) <= 1:
+            return entries
+        ctx = peer.ctx
+        now = ctx.now
+
+        def priority(entry: "RequestEntry") -> float:
+            requester = ctx.peer(entry.requester_id)
+            return participation_priority(
+                requester.participation.claimed_level, now - entry.arrival_time
+            )
+
+        entries.sort(key=lambda e: -priority(e))
+        return entries
+
+
+_DISCIPLINES = {
+    FifoDiscipline.name: FifoDiscipline,
+    CreditDiscipline.name: CreditDiscipline,
+    ParticipationDiscipline.name: ParticipationDiscipline,
+}
+
+
+def make_discipline(
+    name: str,
+    peer_id: int,
+    shares: bool,
+    fake_participation: bool,
+) -> ServiceDiscipline:
+    """Build the named discipline for one peer.
+
+    A non-sharing peer fakes the maximum participation level when
+    ``fake_participation`` is set (the trivial KaZaA hack the paper
+    cites).  The claim is the *requester's* lie, consulted by whichever
+    server runs the participation discipline — so it cannot depend on
+    the claimer's own serving discipline (a freeloader never serves
+    anyway).  Under populations with no participation-disciplined peers
+    the claimed level is simply never read.
+    """
+    cls = _DISCIPLINES.get(name)
+    if cls is None:
+        raise ConfigError(
+            f"unknown service discipline {name!r}; expected one of "
+            f"{sorted(_DISCIPLINES)}"
+        )
+    return cls(peer_id, cheats=fake_participation and not shares)

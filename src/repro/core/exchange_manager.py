@@ -32,7 +32,6 @@ from repro.network.transfer import Transfer
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.core.irq import RequestEntry
-    from repro.core.ring_search import RingCandidate
     from repro.network.peer import Peer
 
 

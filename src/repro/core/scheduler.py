@@ -9,9 +9,11 @@ invoked only the spare slots remain, which is exactly the paper's rule:
 and the peer has a free upload slot, although these slots will be
 reclaimed as soon as another exchange becomes possible."
 
-Non-exchange service is FIFO over the IRQ; entries that can no longer be
-served (requester satisfied elsewhere, object evicted) are dropped as
-they reach the head.
+Non-exchange service order is the peer's own
+:class:`~repro.core.disciplines.ServiceDiscipline` (FIFO in the paper's
+model; eMule-credit and KaZaA-participation for the baseline schemes);
+entries that can no longer be served (requester satisfied elsewhere,
+object evicted) are dropped as they reach the head.
 """
 
 from __future__ import annotations
@@ -23,7 +25,6 @@ from repro.metrics.records import TerminationReason
 from repro.network.transfer import Transfer
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
-    from repro.core.irq import RequestEntry
     from repro.network.peer import Peer
 
 
@@ -38,7 +39,10 @@ def serve_pending(peer: "Peer") -> int:
         return 0
     started = 0
     ctx = peer.ctx
-    for entry in _service_order(peer):
+    # Service order is the peer's own discipline (FIFO, eMule credit or
+    # KaZaA participation) — per peer, not a global mode, so one network
+    # can mix disciplines across peer classes.
+    for entry in peer.discipline.order(peer, list(peer.irq.queued_entries())):
         if peer.upload_pool.free <= 0:
             break
         if not entry.queued:  # consumed earlier in this very pass
@@ -72,39 +76,6 @@ def serve_pending(peer: "Peer") -> int:
         transfer.start()
         started += 1
     return started
-
-
-def _service_order(peer: "Peer"):
-    """Queued entries in the order the scheduler_mode dictates.
-
-    * ``fifo`` — arrival order (the paper's model);
-    * ``credit`` — eMule queue rank (waiting time x credit modifier);
-    * ``participation`` — KaZaA claimed level, waiting time as tiebreak.
-    """
-    mode = peer.ctx.config.scheduler_mode
-    entries = list(peer.irq.queued_entries())
-    if mode == "fifo" or len(entries) <= 1:
-        return entries
-    now = peer.ctx.now
-    if mode == "credit":
-        # One second of base waiting keeps the rank multiplicative even
-        # for requests scheduled the instant they arrive (eMule gives
-        # every queued request a base score for the same reason).
-        entries.sort(
-            key=lambda e: -peer.credit.rank(e.requester_id, now - e.arrival_time + 1.0)
-        )
-        return entries
-    # participation
-    from repro.baselines.participation import participation_priority
-
-    def priority(entry):
-        requester = peer.ctx.peer(entry.requester_id)
-        return participation_priority(
-            requester.participation.claimed_level, now - entry.arrival_time
-        )
-
-    entries.sort(key=lambda e: -priority(e))
-    return entries
 
 
 def pick_preemption_victim(peer: "Peer") -> Optional["Transfer"]:

@@ -28,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
 #: Reasons a token pass can fail; kept as constants so metrics keys are stable.
 REASON_OFFLINE = "member-offline"
 REASON_NOT_SHARING = "member-not-sharing"
+REASON_NOT_EXCHANGING = "member-not-exchanging"
+REASON_RING_TOO_LONG = "ring-size-not-accepted"
 REASON_OBJECT_GONE = "object-gone"
 REASON_NO_LONGER_WANTED = "no-longer-wanted"
 REASON_ALREADY_EXCHANGING = "already-exchanging"
@@ -46,6 +48,8 @@ def validate_ring(ctx: "SimContext", edges: Iterable[RingEdge]) -> None:
     — an open, not-yet-exchange-served download with unassigned blocks
     — and be able to receive it.
     """
+    edges = list(edges)
+    ring_size = len(edges)
     for edge in edges:
         provider = ctx.peer(edge.provider_id)
         requester = ctx.peer(edge.requester_id)
@@ -54,6 +58,16 @@ def validate_ring(ctx: "SimContext", edges: Iterable[RingEdge]) -> None:
             raise TokenValidationFailed(REASON_OFFLINE, provider.peer_id)
         if not provider.behavior.shares:
             raise TokenValidationFailed(REASON_NOT_SHARING, provider.peer_id)
+        if not provider.policy.enables_exchanges:
+            # Heterogeneous populations: a member that has not adopted
+            # the exchange mechanism never answers the token.  Vacuous
+            # under a homogeneous population (the initiator's own policy
+            # already gates the search), so legacy runs are unchanged.
+            raise TokenValidationFailed(REASON_NOT_EXCHANGING, provider.peer_id)
+        if not provider.policy.accepts(ring_size):
+            # Likewise per-member: a pairwise-class peer refuses a
+            # 3..N-way ring even when an N-way initiator proposed it.
+            raise TokenValidationFailed(REASON_RING_TOO_LONG, provider.peer_id)
         if provider.available_blocks(edge.object_id) <= 0:
             raise TokenValidationFailed(REASON_OBJECT_GONE, provider.peer_id)
         if provider.exchange_upload_count >= provider.upload_pool.total:
@@ -61,6 +75,10 @@ def validate_ring(ctx: "SimContext", edges: Iterable[RingEdge]) -> None:
 
         if not requester.online:
             raise TokenValidationFailed(REASON_OFFLINE, requester.peer_id)
+        if not requester.policy.enables_exchanges:
+            raise TokenValidationFailed(REASON_NOT_EXCHANGING, requester.peer_id)
+        if not requester.policy.accepts(ring_size):
+            raise TokenValidationFailed(REASON_RING_TOO_LONG, requester.peer_id)
         download = requester.pending.get(edge.object_id)
         if download is None or download.completed or download.unassigned_blocks <= 0:
             raise TokenValidationFailed(REASON_NO_LONGER_WANTED, requester.peer_id)

@@ -26,7 +26,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
-from repro.experiments.presets import CATEGORY_GRID, preset, sweep
+from repro.experiments.presets import (
+    CAPACITY_TIERS,
+    CATEGORY_GRID,
+    adoption_population,
+    preset,
+    sweep,
+    tiered_population,
+)
 from repro.experiments.report import SeriesTable
 from repro.metrics.cdf import EmpiricalCDF
 from repro.metrics.summary import SimulationSummary
@@ -341,6 +348,79 @@ def _fig12_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTa
     return table
 
 
+# ---------------------------------------------------------------------------
+# Adoption sweep — fraction of sharers running the exchange mechanism
+# ---------------------------------------------------------------------------
+
+ADOPTION_CLASSES = ("adopter", "holdout", "freeloader")
+
+
+def _adoption_grid(scale: str, seed: int) -> CellGrid:
+    grid: CellGrid = {}
+    for adoption in sweep("adoption", scale):
+        grid[f"adopt={adoption:g}"] = preset(
+            scale, population=adoption_population(adoption), seed=seed
+        )
+    return grid
+
+
+def _adoption_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    table = SeriesTable(
+        "Adoption sweep: mean download time (min) per class vs "
+        "fraction of sharers running exchanges",
+        "adoption",
+        list(ADOPTION_CLASSES),
+    )
+    for adoption in sweep("adoption", scale):
+        summary = summaries[f"adopt={adoption:g}"]
+        table.add_row(
+            adoption,
+            {
+                label: summary.mean_download_time_min_by_class.get(label)
+                for label in ADOPTION_CLASSES
+            },
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Capacity tiers — broadband / DSL / modem sharer classes
+# ---------------------------------------------------------------------------
+
+TIER_MECHANISMS = ("2-5-way", "none")
+
+
+def _tiers_grid(scale: str, seed: int) -> CellGrid:
+    return {
+        f"tiers/{mechanism}": preset(
+            scale, population=tiered_population(mechanism), seed=seed
+        )
+        for mechanism in TIER_MECHANISMS
+    }
+
+
+def _tiers_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    table = SeriesTable(
+        "Capacity tiers: mean download time (min) per class vs tier "
+        "uplink (kbit/s); the x=0 row is the freeloader class",
+        "tier_uplink_kbit",
+        list(TIER_MECHANISMS),
+    )
+    rows = [(up, name) for name, (up, _down) in CAPACITY_TIERS.items()]
+    rows.append((0.0, "freeloader"))
+    for x, label in sorted(rows, reverse=True):
+        table.add_row(
+            x,
+            {
+                mechanism: summaries[
+                    f"tiers/{mechanism}"
+                ].mean_download_time_min_by_class.get(label)
+                for mechanism in TIER_MECHANISMS
+            },
+        )
+    return table
+
+
 #: Registry used by the orchestrator, the CLI runner and the benchmarks.
 FIGURES: Dict[str, FigureSpec] = {
     spec.figure_id: spec
@@ -363,6 +443,10 @@ FIGURES: Dict[str, FigureSpec] = {
                    _fig11_grid, _fig11_assemble),
         FigureSpec("fig12", "mean download time vs freeloader fraction",
                    _fig12_grid, _fig12_assemble),
+        FigureSpec("adoption", "per-class download time vs exchange adoption",
+                   _adoption_grid, _adoption_assemble),
+        FigureSpec("tiers", "per-class download time across capacity tiers",
+                   _tiers_grid, _tiers_assemble),
     )
 }
 

@@ -49,6 +49,14 @@ from repro.simulation import run_summary
 #: Called after each finished cell with (completed, total).
 ProgressFn = Callable[[int, int], None]
 
+#: Result-cache schema stamp, bumped whenever the simulation's outcome
+#: for an unchanged config fingerprint can change (the population
+#: refactor did: fingerprints now cover ``population`` and summaries
+#: carry per-class breakdowns).  Entries stamped with any other value
+#: are treated as misses, so stale pre-refactor results are never
+#: replayed.
+CACHE_SCHEMA_VERSION = 2
+
 
 def config_fingerprint(config: SimulationConfig) -> str:
     """Stable SHA-256 over the config's canonical JSON form.
@@ -115,6 +123,8 @@ class ResultCache:
                 payload = json.load(handle)
             if payload.get("version") != repro.__version__:
                 raise ValueError("cache entry from a different code version")
+            if payload.get("cache_version") != CACHE_SCHEMA_VERSION:
+                raise ValueError("cache entry from a different cache schema")
             summary = SimulationSummary.from_dict(payload["summary"])
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             self.misses += 1
@@ -134,6 +144,7 @@ class ResultCache:
         payload = {
             "fingerprint": fingerprint,
             "version": repro.__version__,
+            "cache_version": CACHE_SCHEMA_VERSION,
             "config": config.to_dict(),
             "summary": summary.to_dict(),
         }

@@ -23,10 +23,11 @@ stays in the regime the paper's Figs. 4-5 exhibit; see DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.config import SimulationConfig
 from repro.errors import ConfigError
+from repro.population import PeerClassSpec
 
 #: Per-scale overrides applied on top of Table II defaults.
 SCALES: Dict[str, dict] = {
@@ -96,10 +97,100 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "small": (0.1, 0.3, 0.5, 0.7, 0.9),
         "smoke": (0.2, 0.5, 0.8),
     },
+    # Adoption sweep: fraction of sharers running the exchange mechanism
+    # (the network-effects question — how much adoption before the
+    # incentive bites).
+    "adoption": {
+        "paper": (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
+        "small": (0.0, 0.25, 0.5, 0.75, 1.0),
+        "smoke": (0.0, 0.5, 1.0),
+    },
 }
 
 #: Fig. 11's secondary dimension: categories of interest per peer.
 CATEGORY_GRID = (2, 4, 8)
+
+#: Three-tier access-link scenario: class name → (upload, download)
+#: kbit/s.  The middle tier is the paper's Table II link; the others
+#: halve/double it, keeping the 10 kbit/s slot geometry intact.
+CAPACITY_TIERS: Dict[str, Tuple[float, float]] = {
+    "broadband": (160.0, 1600.0),
+    "dsl": (80.0, 800.0),
+    "modem": (40.0, 400.0),
+}
+
+
+def adoption_population(
+    adoption: float,
+    freeloader_fraction: float = 0.5,
+    mechanism: str = "2-5-way",
+) -> Tuple[PeerClassSpec, ...]:
+    """Sharers split into exchange adopters and non-adopting holdouts.
+
+    ``adoption`` is the fraction *of sharers* running ``mechanism``;
+    holdouts and freeloaders run no exchanges.  Freeloaders keep the
+    configured ``freeloader_fraction`` of the whole population.
+    """
+    if not 0.0 <= adoption <= 1.0:
+        raise ConfigError(f"adoption must be in [0,1], got {adoption}")
+    sharer_fraction = 1.0 - freeloader_fraction
+    return (
+        PeerClassSpec(name="holdout", behavior="sharer", exchange_mechanism="none"),
+        PeerClassSpec(
+            name="adopter",
+            behavior="sharer",
+            exchange_mechanism=mechanism,
+            fraction=sharer_fraction * adoption,
+        ),
+        PeerClassSpec(
+            name="freeloader",
+            behavior="freeloader",
+            exchange_mechanism="none",
+            fraction=freeloader_fraction,
+        ),
+    )
+
+
+def tiered_population(
+    mechanism: str = "2-5-way",
+    freeloader_fraction: float = 0.5,
+) -> Tuple[PeerClassSpec, ...]:
+    """Sharers spread evenly over the three capacity tiers.
+
+    Freeloaders keep the default (dsl-class) link so the tier effect is
+    isolated to the serving side.
+    """
+    sharer_fraction = 1.0 - freeloader_fraction
+    tiers = tuple(
+        PeerClassSpec(
+            name=name,
+            behavior="sharer",
+            exchange_mechanism=mechanism,
+            fraction=sharer_fraction / len(CAPACITY_TIERS),
+            upload_capacity_kbit=up,
+            download_capacity_kbit=down,
+        )
+        for name, (up, down) in list(CAPACITY_TIERS.items())[1:]
+    )
+    first_name, (first_up, first_down) = next(iter(CAPACITY_TIERS.items()))
+    return (
+        # The first tier absorbs rounding remainders so counts always
+        # sum to num_peers at any scale.
+        PeerClassSpec(
+            name=first_name,
+            behavior="sharer",
+            exchange_mechanism=mechanism,
+            upload_capacity_kbit=first_up,
+            download_capacity_kbit=first_down,
+        ),
+        *tiers,
+        PeerClassSpec(
+            name="freeloader",
+            behavior="freeloader",
+            exchange_mechanism="none",
+            fraction=freeloader_fraction,
+        ),
+    )
 
 
 def preset(scale: str, **overrides) -> SimulationConfig:

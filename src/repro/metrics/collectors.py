@@ -74,6 +74,20 @@ class MetricsCollector:
             times.append(record.download_time)
         return times
 
+    def download_times_by_class(self, warmup: float = 0.0) -> Dict[str, List[float]]:
+        """Download times (seconds) grouped by population-class label.
+
+        Records without a class label (hand-built in unit tests) fall
+        back to the behaviour-derived sharer/freeloader label.
+        """
+        grouped: Dict[str, List[float]] = {}
+        for record in self.downloads_after(warmup):
+            label = record.class_name or (
+                "sharer" if record.peer_is_sharer else "freeloader"
+            )
+            grouped.setdefault(label, []).append(record.download_time)
+        return grouped
+
     def reason_counts(self) -> Dict[TerminationReason, int]:
         counts: Dict[TerminationReason, int] = {}
         for reason in TerminationReason:

@@ -77,6 +77,9 @@ class SessionRecord:
     kbit_transferred: float
     reason: TerminationReason
     requester_is_sharer: bool
+    #: Population-class label of the requester ("" for hand-built
+    #: records; real runs always carry the class name).
+    requester_class: str = ""
 
     @property
     def waiting_time(self) -> float:
@@ -106,6 +109,9 @@ class DownloadRecord:
     complete_time: float
     size_kbit: float
     peer_is_sharer: bool
+    #: Population-class label of the downloading peer ("" for hand-built
+    #: records; real runs always carry the class name).
+    class_name: str = ""
 
     @property
     def download_time(self) -> float:

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.metrics.collectors import MetricsCollector
-from repro.metrics.records import TrafficClass
 from repro.units import kbit_to_mb, seconds_to_minutes
 
 
@@ -46,6 +45,16 @@ class SimulationSummary:
     # Fig. 10: measured-window transfer volume per peer class (MB / peer)
     volume_per_sharer_mb: float = 0.0
     volume_per_freeloader_mb: float = 0.0
+
+    # Heterogeneous-population breakdowns, keyed by population-class
+    # label.  For a legacy two-class run these hold exactly the
+    # sharer/freeloader numbers above (which remain as derived views).
+    mean_download_time_min_by_class: Dict[str, Optional[float]] = field(
+        default_factory=dict
+    )
+    completed_downloads_by_class: Dict[str, int] = field(default_factory=dict)
+    volume_per_peer_mb_by_class: Dict[str, float] = field(default_factory=dict)
+    class_sizes: Dict[str, int] = field(default_factory=dict)
 
     # extras
     counters: Dict[str, int] = field(default_factory=dict)
@@ -89,16 +98,21 @@ def summarize(
     warmup: float,
     num_sharers: int,
     num_freeloaders: int,
+    class_sizes: Optional[Mapping[str, int]] = None,
 ) -> SimulationSummary:
     """Reduce raw records to the paper's headline metrics.
 
     ``warmup`` censors everything that finished before the measurement
     window opened.  Per-peer volumes are normalized by the *class size*
     so runs with different freeloader fractions are comparable (Fig. 12).
+    ``class_sizes`` (population-class label → peer count) normalizes the
+    per-class volume breakdown; when omitted, classes present in the
+    records still get download-time and count entries.
     """
     sharer_times = collector.download_times(sharer=True, warmup=warmup)
     freeloader_times = collector.download_times(sharer=False, warmup=warmup)
     all_times = sharer_times + freeloader_times
+    times_by_peer_class = collector.download_times_by_class(warmup=warmup)
 
     sessions = collector.sessions_after(warmup)
     session_counts: Dict[str, int] = {}
@@ -107,6 +121,7 @@ def summarize(
     exchange_sessions = 0
     sharer_kbit = 0.0
     freeloader_kbit = 0.0
+    kbit_by_peer_class: Dict[str, float] = {}
     for session in sessions:
         label = session.traffic_class.value
         session_counts[label] = session_counts.get(label, 0) + 1
@@ -120,10 +135,35 @@ def summarize(
             sharer_kbit += session.kbit_transferred
         else:
             freeloader_kbit += session.kbit_transferred
+        peer_class = session.requester_class or (
+            "sharer" if session.requester_is_sharer else "freeloader"
+        )
+        kbit_by_peer_class[peer_class] = (
+            kbit_by_peer_class.get(peer_class, 0.0) + session.kbit_transferred
+        )
 
     fraction: Optional[float] = None
     if sessions:
         fraction = exchange_sessions / len(sessions)
+
+    sizes: Dict[str, int] = dict(class_sizes) if class_sizes else {}
+    # Every known class appears in the breakdowns, even with no activity
+    # in the window — a zero-adoption class reads as None, not missing.
+    class_labels = sorted(set(sizes) | set(times_by_peer_class) | set(kbit_by_peer_class))
+    mean_by_peer_class: Dict[str, Optional[float]] = {}
+    completed_by_peer_class: Dict[str, int] = {}
+    volume_per_peer_by_class: Dict[str, float] = {}
+    for label in class_labels:
+        times = times_by_peer_class.get(label, [])
+        mean_time = _mean(times)
+        mean_by_peer_class[label] = (
+            seconds_to_minutes(mean_time) if mean_time is not None else None
+        )
+        completed_by_peer_class[label] = len(times)
+        size = sizes.get(label, 0)
+        volume_per_peer_by_class[label] = (
+            kbit_to_mb(kbit_by_peer_class.get(label, 0.0)) / size if size else 0.0
+        )
 
     mean_sharer = _mean(sharer_times)
     mean_freeloader = _mean(freeloader_times)
@@ -150,5 +190,9 @@ def summarize(
         volume_per_freeloader_mb=(
             kbit_to_mb(freeloader_kbit) / num_freeloaders if num_freeloaders else 0.0
         ),
+        mean_download_time_min_by_class=mean_by_peer_class,
+        completed_downloads_by_class=completed_by_peer_class,
+        volume_per_peer_mb_by_class=volume_per_peer_by_class,
+        class_sizes=sizes,
         counters=dict(collector.counters),
     )

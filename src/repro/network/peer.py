@@ -19,11 +19,10 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.baselines.credit import CreditLedger
-from repro.baselines.participation import ParticipationReporter
 from repro.content.storage import ObjectStore
 from repro.content.workload import RequestGenerator
 from repro.core import exchange_manager, scheduler
+from repro.core.disciplines import ServiceDiscipline, make_discipline
 from repro.core.irq import IncomingRequestQueue, RequestEntry
 from repro.core.policies import ExchangePolicy
 from repro.core.request_tree import build_snapshot
@@ -51,6 +50,11 @@ class Peer:
         policy: ExchangePolicy,
         profile: "InterestProfile",
         store: ObjectStore,
+        *,
+        upload_capacity_kbit: Optional[float] = None,
+        download_capacity_kbit: Optional[float] = None,
+        discipline: Optional[ServiceDiscipline] = None,
+        class_name: Optional[str] = None,
     ) -> None:
         config = ctx.config
         self.ctx = ctx
@@ -59,9 +63,21 @@ class Peer:
         self.policy = policy
         self.profile = profile
         self.store = store
+        #: Population-class label threaded into the metrics records;
+        #: defaults to the behaviour name for hand-built peers.
+        self.class_name = class_name if class_name is not None else behavior.name
         self.online = True
-        self.upload_pool = SlotPool(config.upload_capacity_kbit, config.slot_kbit)
-        self.download_pool = SlotPool(config.download_capacity_kbit, config.slot_kbit)
+        # Link capacities are per peer: a class spec may give this peer a
+        # broadband uplink while its neighbour runs on a modem.  ``None``
+        # inherits the global config values.
+        if upload_capacity_kbit is None:
+            upload_capacity_kbit = config.upload_capacity_kbit
+        if download_capacity_kbit is None:
+            download_capacity_kbit = config.download_capacity_kbit
+        self.upload_capacity_kbit = upload_capacity_kbit
+        self.download_capacity_kbit = download_capacity_kbit
+        self.upload_pool = SlotPool(upload_capacity_kbit, config.slot_kbit)
+        self.download_pool = SlotPool(download_capacity_kbit, config.slot_kbit)
         self.irq = IncomingRequestQueue(config.irq_capacity)
         self.pending: Dict[int, DownloadState] = {}
         self.workload: Optional[RequestGenerator] = None  # set by attach_workload
@@ -72,16 +88,16 @@ class Peer:
         self._last_tree_refresh = -math.inf
         self._workload_stalled_until = -math.inf
         self._rand = ctx.rng.stream(f"peer{peer_id}")
-        # Baseline-mechanism state (consulted only under the matching
-        # scheduler_mode, but always maintained — it is cheap and lets
-        # analyses compare what credit *would* have said).
-        self.credit = CreditLedger(peer_id)
-        fakes = (
-            config.scheduler_mode == "participation"
-            and config.freeloaders_fake_participation
-            and not behavior.shares
-        )
-        self.participation = ParticipationReporter(peer_id, cheats=fakes)
+        # The service discipline owns the baseline-mechanism state
+        # (credit ledger, participation reporter) and the queue ordering.
+        if discipline is None:
+            discipline = make_discipline(
+                config.scheduler_mode,
+                peer_id,
+                shares=behavior.shares,
+                fake_participation=config.freeloaders_fake_participation,
+            )
+        self.discipline = discipline
 
     # ------------------------------------------------------------------
     # identity & capability
@@ -90,6 +106,16 @@ class Peer:
     def shares(self) -> bool:
         """Whether this peer currently serves content."""
         return self.behavior.shares and self.online
+
+    @property
+    def credit(self):
+        """The discipline-owned eMule credit ledger (always maintained)."""
+        return self.discipline.credit
+
+    @property
+    def participation(self):
+        """The discipline-owned KaZaA participation reporter."""
+        return self.discipline.participation
 
     @property
     def exchange_upload_count(self) -> int:
@@ -366,6 +392,7 @@ class Peer:
                 complete_time=self.ctx.now,
                 size_kbit=download.object.size_kbit,
                 peer_is_sharer=self.behavior.shares,
+                class_name=self.class_name,
             )
         )
         if self.workload is not None:

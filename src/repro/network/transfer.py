@@ -273,6 +273,7 @@ class Transfer:
             kbit_transferred=kbit,
             reason=reason,
             requester_is_sharer=self.requester.behavior.shares,
+            requester_class=self.requester.class_name,
         )
         self._ctx.metrics.record_session(record)
 

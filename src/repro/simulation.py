@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.config import SimulationConfig
 from repro.content.catalog import Catalog
@@ -31,11 +31,12 @@ from repro.content.workload import RequestGenerator
 from repro.context import SimContext
 from repro.core.policies import parse_mechanism
 from repro.errors import SimulationError
+from repro.core.disciplines import make_discipline
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.summary import SimulationSummary, summarize
-from repro.network.behaviors import FREELOADER, SHARER
 from repro.network.lookup import LookupService
 from repro.network.peer import Peer
+from repro.population import assign_peer_classes, class_sizes
 from repro.sim.processes import PeriodicProcess
 
 
@@ -63,7 +64,7 @@ class FileSharingSimulation:
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
         self.ctx = SimContext(config)
-        self.policy = parse_mechanism(config.exchange_mechanism)
+        self.population = config.resolved_population()
         self.churn = None  # set by build() when churn is enabled
         self._built = False
         self._ran = False
@@ -94,29 +95,48 @@ class FileSharingSimulation:
         placement_cache = PopularityCache()
         workload_cache = PopularityCache()
 
-        freeloader_ids = set(
-            rng.sample(range(config.num_peers), config.num_freeloaders, stream="behavior")
-        )
+        class_of = assign_peer_classes(self.population, config.num_peers, rng)
+        policies = {
+            cls.name: parse_mechanism(cls.exchange_mechanism)
+            for cls in self.population
+        }
         interest_rand = rng.stream("interests")
         placement_rand = rng.stream("placement")
 
         for peer_id in range(config.num_peers):
+            peer_class = class_of[peer_id]
             categories = rng.uniform_int(
-                config.categories_per_peer_min,
-                config.categories_per_peer_max,
+                peer_class.categories_per_peer_min,
+                peer_class.categories_per_peer_max,
                 stream="peer-categories",
             )
             profile = build_interest_profile(
                 ctx.catalog, category_popularity, interest_rand, categories
             )
             capacity = rng.uniform_int(
-                config.storage_min_objects,
-                config.storage_max_objects,
+                peer_class.storage_min_objects,
+                peer_class.storage_max_objects,
                 stream="peer-storage",
             )
             store = ObjectStore(capacity)
-            behavior = FREELOADER if peer_id in freeloader_ids else SHARER
-            peer = Peer(ctx, peer_id, behavior, self.policy, profile, store)
+            behavior = peer_class.behavior
+            peer = Peer(
+                ctx,
+                peer_id,
+                behavior,
+                policies[peer_class.name],
+                profile,
+                store,
+                upload_capacity_kbit=peer_class.upload_capacity_kbit,
+                download_capacity_kbit=peer_class.download_capacity_kbit,
+                discipline=make_discipline(
+                    peer_class.service_discipline,
+                    peer_id,
+                    shares=behavior.shares,
+                    fake_participation=config.freeloaders_fake_participation,
+                ),
+                class_name=peer_class.name,
+            )
             placed = place_objects_for_peer(
                 ctx.catalog,
                 profile,
@@ -216,11 +236,16 @@ class FileSharingSimulation:
         for process in self._processes:
             process.stop()
         wall = time.perf_counter() - started
+        # Class sizes come from the resolved population, not the legacy
+        # freeloader_fraction properties — under an explicit population
+        # the latter say nothing about the actual split.
+        num_sharers = sum(c.count for c in self.population if c.behavior.shares)
         summary = summarize(
             self.ctx.metrics,
             warmup=self.config.warmup,
-            num_sharers=self.config.num_sharers,
-            num_freeloaders=self.config.num_freeloaders,
+            num_sharers=num_sharers,
+            num_freeloaders=self.config.num_peers - num_sharers,
+            class_sizes=class_sizes(self.population),
         )
         return SimulationResult(
             config=self.config,

@@ -100,6 +100,23 @@ class TestValidation:
     def test_known_mechanisms_accepted(self, mechanism):
         SimulationConfig(exchange_mechanism=mechanism)
 
+    def test_unknown_mechanism_error_lists_accepted_forms(self):
+        # The policy parser is the single source of truth for accepted
+        # spec forms; its error must teach them.
+        with pytest.raises(ConfigError) as info:
+            SimulationConfig(exchange_mechanism="carrier-pigeon")
+        message = str(info.value)
+        for form in ("none", "pairwise", "N-2-way", "2-N-way"):
+            assert form in message
+
+    def test_invalid_population_rejected(self):
+        from repro.population import PeerClassSpec
+
+        with pytest.raises(ConfigError):
+            SimulationConfig(
+                population=(PeerClassSpec(name="ghost", behavior="lurker"),)
+            )
+
 
 class TestReplace:
     def test_replace_overrides_field(self):
@@ -120,6 +137,16 @@ class TestReplace:
         text = SimulationConfig().describe()
         assert "num_peers" in text
         assert "exchange_mechanism" in text
+        assert "population" in text
+
+    def test_to_dict_includes_population_deterministically(self):
+        from repro.population import PeerClassSpec
+
+        spec = PeerClassSpec(name="all", fraction=1.0)
+        first = SimulationConfig(population=(spec,)).to_dict()
+        second = SimulationConfig(population=[spec]).to_dict()  # list input
+        assert first == second
+        assert first["population"][0]["name"] == "all"
 
     def test_blocks_round_up_for_odd_sizes(self):
         config = SimulationConfig(object_size_mb=1.0, block_size_kbit=3000.0)

@@ -9,10 +9,7 @@ request rule.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.core import exchange_manager
-from repro.metrics.records import TerminationReason, TrafficClass
+from repro.metrics.records import TerminationReason
 
 from tests.helpers import build_peer, give, make_ctx, small_config
 

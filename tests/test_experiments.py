@@ -74,10 +74,10 @@ class TestSeriesTable:
 
 
 class TestFigureRegistry:
-    def test_all_nine_figures_registered(self):
+    def test_all_figures_registered(self):
         assert sorted(FIGURES) == [
-            "fig10", "fig11", "fig12", "fig4", "fig5",
-            "fig6", "fig7", "fig8", "fig9",
+            "adoption", "fig10", "fig11", "fig12", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "fig9", "tiers",
         ]
 
     def test_unknown_figure_rejected(self):
@@ -97,3 +97,31 @@ class TestFigureRegistry:
         for column in ("non-exchange", "pairwise"):
             values = table.column_values(column)
             assert values, f"no sessions of class {column} at smoke scale"
+
+
+class TestHeterogeneousExperiments:
+    def test_adoption_sweep_smoke_end_to_end(self):
+        # Acceptance: the adoption sweep runs end-to-end at smoke scale
+        # and emits per-class mean download times for >= 3 fractions.
+        table = run_figure("adoption", scale="smoke", seed=3)
+        assert table.columns == ["adopter", "holdout", "freeloader"]
+        assert len(table.rows) >= 3
+        fractions = [x for x, _values in table.rows]
+        assert fractions == sorted(fractions)
+        for x, values in table.rows:
+            # Every class that exists at this adoption level reports a
+            # mean; empty classes (no adopters at 0, no holdouts at 1)
+            # stay None.
+            if 0.0 < x < 1.0:
+                assert values["adopter"] is not None
+                assert values["holdout"] is not None
+            assert values["freeloader"] is not None
+
+    def test_capacity_tiers_smoke_end_to_end(self):
+        table = run_figure("tiers", scale="smoke", seed=3)
+        assert table.columns == ["2-5-way", "none"]
+        # Three sharer tiers plus the freeloader reference row.
+        assert [x for x, _values in table.rows] == [160.0, 80.0, 40.0, 0.0]
+        for _x, values in table.rows:
+            for column in table.columns:
+                assert values[column] is not None

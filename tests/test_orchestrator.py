@@ -14,6 +14,7 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.errors import ConfigError, MetricsError
+from repro.experiments import orchestrator
 from repro.experiments.figures import FIGURES, FigureSpec
 from repro.experiments.orchestrator import (
     MemoryCache,
@@ -127,6 +128,25 @@ class TestResultCache:
         import repro
 
         monkeypatch.setattr(repro, "__version__", "0.0.0-different")
+        assert ResultCache(str(tmp_path)).load(config) is None
+
+    def test_entries_from_other_cache_schemas_are_misses(self, tmp_path):
+        # Pre-population cache entries carry no (or an older) schema
+        # stamp and must never be replayed.
+        cache = ResultCache(str(tmp_path))
+        config = tiny_config()
+        cache.store(config, fake_summary())
+        path = os.path.join(str(tmp_path), f"{config_fingerprint(config)}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["cache_version"] == orchestrator.CACHE_SCHEMA_VERSION
+        payload["cache_version"] = orchestrator.CACHE_SCHEMA_VERSION - 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert ResultCache(str(tmp_path)).load(config) is None
+        del payload["cache_version"]  # pre-stamp entries lack the key entirely
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
         assert ResultCache(str(tmp_path)).load(config) is None
 
     def test_precomputed_fingerprint_respected(self, tmp_path):

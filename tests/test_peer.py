@@ -139,6 +139,53 @@ class TestAbandonment:
         assert download.lookup_failures == 0
 
 
+class TestPerPeerState:
+    def test_discipline_owns_baseline_state(self):
+        ctx = make_ctx()
+        peer = build_peer(ctx, 0)
+        assert peer.credit is peer.discipline.credit
+        assert peer.participation is peer.discipline.participation
+        assert type(peer.discipline).name == ctx.config.scheduler_mode
+
+    def test_capacity_overrides_size_slot_pools(self):
+        from repro.content.interests import InterestProfile
+        from repro.content.storage import ObjectStore
+        from repro.core.policies import parse_mechanism
+        from repro.network.behaviors import SHARER
+        from repro.network.peer import Peer
+
+        ctx = make_ctx(small_config(upload_capacity_kbit=80.0))
+        peer = Peer(
+            ctx,
+            0,
+            SHARER,
+            parse_mechanism("none"),
+            InterestProfile([0], [1.0]),
+            ObjectStore(5),
+            upload_capacity_kbit=20.0,
+            download_capacity_kbit=100.0,
+            class_name="modem",
+        )
+        assert peer.upload_pool.total == 2
+        assert peer.download_pool.total == 10
+        assert peer.class_name == "modem"
+
+    def test_class_name_defaults_to_behavior(self):
+        ctx = make_ctx()
+        assert build_peer(ctx, 0).class_name == "sharer"
+        assert build_peer(ctx, 1, shares=False).class_name == "freeloader"
+
+    def test_participation_cheat_follows_behavior_and_flag(self):
+        # The cheat is the non-sharing peer's lie about its level; it is
+        # observable only to participation-disciplined servers, so it no
+        # longer depends on any scheduler mode (global or own).
+        ctx = make_ctx(small_config(scheduler_mode="participation"))
+        assert build_peer(ctx, 0, shares=False).participation.cheats
+        assert not build_peer(ctx, 1, shares=True).participation.cheats
+        honest_ctx = make_ctx(small_config(freeloaders_fake_participation=False))
+        assert not build_peer(honest_ctx, 0, shares=False).participation.cheats
+
+
 class TestTreeRefresh:
     def test_refresh_publishes_new_snapshot(self):
         config = small_config(tree_refresh_interval=1.0)

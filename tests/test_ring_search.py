@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.irq import IncomingRequestQueue, RequestEntry
 from repro.core.request_tree import RequestTreeNode
-from repro.core.ring_search import RingCandidate, find_candidates, path_is_usable
+from repro.core.ring_search import find_candidates, path_is_usable
 
 
 def tree(peer_id, *children):

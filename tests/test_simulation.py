@@ -45,6 +45,29 @@ class TestAssembly:
             for object_id in peer.store.object_ids():
                 assert peer.peer_id not in ctx.lookup.providers(object_id, exclude=-1)
 
+    def test_population_build_assigns_classes(self):
+        from repro.population import PeerClassSpec
+
+        config = small_config(
+            population=(
+                PeerClassSpec(name="fast", upload_capacity_kbit=160.0),
+                PeerClassSpec(
+                    name="leech", behavior="freeloader", fraction=0.5,
+                    service_discipline="participation",
+                ),
+            )
+        )
+        ctx = FileSharingSimulation(config).build()
+        by_class = {}
+        for peer in ctx.peers.values():
+            by_class.setdefault(peer.class_name, []).append(peer)
+        assert len(by_class["leech"]) == 10
+        assert all(not p.behavior.shares for p in by_class["leech"])
+        assert all(p.upload_pool.total == 16 for p in by_class["fast"])
+        assert all(
+            type(p.discipline).name == "participation" for p in by_class["leech"]
+        )
+
     def test_double_build_rejected(self):
         sim = FileSharingSimulation(small_config())
         sim.build()

@@ -4,14 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.policies import parse_mechanism
 from repro.core.ring import RingEdge
 from repro.core.token_protocol import (
     REASON_ALREADY_EXCHANGING,
     REASON_NO_LONGER_WANTED,
     REASON_NO_UPLOAD_SLOT,
+    REASON_NOT_EXCHANGING,
     REASON_NOT_SHARING,
     REASON_OBJECT_GONE,
     REASON_OFFLINE,
+    REASON_RING_TOO_LONG,
     validate_ring,
 )
 from repro.errors import TokenValidationFailed
@@ -23,7 +26,8 @@ from tests.helpers import build_peer, give, make_ctx
 def network():
     """Two sharers with a mutual pairwise want, ready to validate.
 
-    Peers run the "none" policy so no ring forms on its own — these
+    Peers are built with the "none" policy so no ring forms on its own
+    during setup, then upgraded to an exchange-capable policy — these
     tests drive validate_ring() directly against hand-built edges.
     """
     ctx = make_ctx()
@@ -33,6 +37,8 @@ def network():
     give(ctx, b, 1)  # B holds object 1 (A wants it)
     a.start_download(ctx.catalog.object(1))
     b.start_download(ctx.catalog.object(0))
+    a.policy = parse_mechanism("pairwise")
+    b.policy = parse_mechanism("pairwise")
     edges = [
         RingEdge(requester_id=2, provider_id=1, object_id=0),
         RingEdge(requester_id=1, provider_id=2, object_id=1),
@@ -63,6 +69,46 @@ class TestValidateRing:
         with pytest.raises(TokenValidationFailed) as info:
             validate_ring(ctx, bad)
         assert info.value.reason == REASON_NOT_SHARING
+
+    def test_non_exchanging_member_vetoes(self, network):
+        # Heterogeneous populations: a member whose class never adopted
+        # the exchange mechanism does not answer the token.
+        ctx, a, _b, edges = network
+        a.policy = parse_mechanism("none")
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.reason == REASON_NOT_EXCHANGING
+        assert info.value.peer_id == 1
+
+    def test_member_ring_size_cap_vetoes(self):
+        # A pairwise-class peer refuses membership in a 3-way ring even
+        # when a 2-5-way initiator proposes it.
+        ctx = make_ctx()
+        a = build_peer(ctx, 1, mechanism="none")
+        b = build_peer(ctx, 2, mechanism="none")
+        c = build_peer(ctx, 3, mechanism="none")
+        give(ctx, a, 0)
+        give(ctx, b, 1)
+        give(ctx, c, 2)
+        a.start_download(ctx.catalog.object(2))  # A wants 2 (held by C)
+        b.start_download(ctx.catalog.object(0))  # B wants 0 (held by A)
+        c.start_download(ctx.catalog.object(1))  # C wants 1 (held by B)
+        a.policy = parse_mechanism("2-5-way")
+        b.policy = parse_mechanism("2-5-way")
+        c.policy = parse_mechanism("pairwise")
+        edges = [
+            RingEdge(requester_id=2, provider_id=1, object_id=0),
+            RingEdge(requester_id=3, provider_id=2, object_id=1),
+            RingEdge(requester_id=1, provider_id=3, object_id=2),
+        ]
+        with pytest.raises(TokenValidationFailed) as info:
+            validate_ring(ctx, edges)
+        assert info.value.reason == REASON_RING_TOO_LONG
+        assert info.value.peer_id == 3
+        # With C upgraded to a 3-way-capable policy the same ring passes
+        # (pairwise acceptance is covered by test_valid_ring_passes).
+        c.policy = parse_mechanism("2-5-way")
+        validate_ring(ctx, edges)  # must not raise
 
     def test_evicted_object_vetoes(self, network):
         ctx, a, _b, edges = network

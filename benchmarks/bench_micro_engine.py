@@ -1,12 +1,17 @@
 """Ablation A4 — event-engine throughput microbenchmark.
 
 The block-event rate bounds how big a network the simulator can carry;
-this pins the engine's raw events/second so regressions surface.
+this pins the engine's raw events/second so regressions surface.  Both
+cells publish BENCH json so the trajectory is tracked PR-over-PR.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.sim.engine import Engine
+
+from conftest import publish_bench
 
 
 def _churn(num_events: int) -> int:
@@ -24,18 +29,27 @@ def _churn(num_events: int) -> int:
 
 
 def test_engine_throughput(benchmark):
-    fired = benchmark(_churn, 20_000)
+    def timed():
+        started = time.perf_counter()
+        fired = _churn(20_000)
+        return fired, time.perf_counter() - started
+
+    fired, wall = benchmark(timed)
+    publish_bench("micro_engine", wall_seconds=wall, events_fired=fired)
     assert fired == 20_000
 
 
 def test_engine_cancellation_cost(benchmark):
     def cancel_heavy():
         engine = Engine()
+        started = time.perf_counter()
         events = [engine.schedule(float(i % 97) + 1.0, lambda: None) for i in range(5_000)]
         for event in events[::2]:
             event.cancel()
         engine.run(until=100.0)
-        return engine.events_fired
+        return engine.events_fired, time.perf_counter() - started
 
-    fired = benchmark(cancel_heavy)
+    result = benchmark(cancel_heavy)
+    fired, wall = result
+    publish_bench("micro_engine_cancel", wall_seconds=wall, events_fired=fired)
     assert fired == 2_500

@@ -8,6 +8,7 @@ tests can assemble partial contexts cheaply.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.config import SimulationConfig
@@ -39,6 +40,7 @@ class SimContext:
         self.catalog: Optional["Catalog"] = None
         self.lookup: Optional["LookupService"] = None
         self._ring_counter = 0
+        self._blocks_cache: Dict[int, int] = {}
 
     @property
     def now(self) -> float:
@@ -52,6 +54,21 @@ class SimContext:
         """Monotonic ring identifiers for metrics and debugging."""
         self._ring_counter += 1
         return self._ring_counter
+
+    def blocks_for(self, object_id: int) -> int:
+        """Blocks needed for one object (memoized: sizes are immutable).
+
+        Sits on the scheduler/validation hot path via
+        :meth:`~repro.network.peer.Peer.available_blocks`, so the
+        catalog lookup and ceiling division run once per object, not
+        once per call.
+        """
+        blocks = self._blocks_cache.get(object_id)
+        if blocks is None:
+            size_kbit = self.catalog.object(object_id).size_kbit
+            blocks = max(1, math.ceil(size_kbit / self.config.block_size_kbit))
+            self._blocks_cache[object_id] = blocks
+        return blocks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimContext(peers={len(self.peers)}, t={self.engine.now:.1f})"

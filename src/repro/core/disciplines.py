@@ -23,7 +23,8 @@ the moment claimer and server run different disciplines.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+import heapq
+from typing import TYPE_CHECKING, Iterator, List, Sequence
 
 from repro.baselines.credit import CreditLedger
 from repro.baselines.participation import ParticipationReporter, participation_priority
@@ -37,20 +38,69 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
 class ServiceDiscipline:
     """Strategy for ordering one peer's queued IRQ entries.
 
-    Subclasses override :meth:`order`; the base class carries the
+    Subclasses override :meth:`rank`; the base class carries the
     baseline state (credit ledger + participation reporter) every
     discipline maintains.
+
+    The scheduler consumes :meth:`service_iter`, which yields entries
+    *lazily* in service order: FIFO (no rank) streams the queue
+    snapshot as-is, and ranked disciplines heapify once — O(n) — and
+    pop only as many entries as free slots actually consume, instead of
+    fully sorting the queue on every scheduling pass.  The heap's
+    ``(key, position)`` tiebreak reproduces a stable sort exactly, so
+    the lazy order is bit-identical to the eager one.
     """
 
     name = "fifo"
+    #: Ranked disciplines override :meth:`rank`; FIFO keeps None so the
+    #: scheduler can stream the queue without computing keys at all.
+    ranked = False
 
     def __init__(self, peer_id: int, cheats: bool = False) -> None:
         self.peer_id = peer_id
         self.credit = CreditLedger(peer_id)
         self.participation = ParticipationReporter(peer_id, cheats=cheats)
 
+    def rank(self, peer: "Peer", entry: "RequestEntry") -> float:
+        """Service priority of one entry (higher serves first)."""
+        return 0.0
+
+    def service_iter(
+        self, peer: "Peer", entries: Sequence["RequestEntry"]
+    ) -> Iterator["RequestEntry"]:
+        """Entries in service order, yielded lazily.
+
+        Ranked disciplines drop non-queued entries up front — they can
+        never be served this pass, and ranking them would mean a credit
+        lookup (or a peer dereference) per attached entry on a queue
+        that is mostly attached.  FIFO streams unfiltered; its consumer
+        skips non-queued entries for free as it walks.
+        """
+        if not self.ranked or len(entries) <= 1:
+            return iter(entries)
+        heap = [
+            (-self.rank(peer, entry), position, entry)
+            for position, entry in enumerate(entries)
+            if entry.queued
+        ]
+        heapq.heapify(heap)
+
+        def pop_all() -> Iterator["RequestEntry"]:
+            while heap:
+                yield heapq.heappop(heap)[2]
+
+        return pop_all()
+
     def order(self, peer: "Peer", entries: List["RequestEntry"]) -> List["RequestEntry"]:
-        """Entries in service order; default: arrival order (FIFO)."""
+        """Eager view of :meth:`service_iter`, for tests and tooling.
+
+        Inherits its semantics: ranked disciplines return only *queued*
+        entries (non-queued ones cannot be served and are dropped at
+        heap-build time), FIFO returns the input unchanged.  Production
+        scheduling consumes :meth:`service_iter` directly.
+        """
+        if self.ranked and len(entries) > 1:
+            return list(self.service_iter(peer, entries))
         return entries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -67,39 +117,29 @@ class CreditDiscipline(ServiceDiscipline):
     """eMule queue rank: waiting time x local credit modifier."""
 
     name = "credit"
+    ranked = True
 
-    def order(self, peer: "Peer", entries: List["RequestEntry"]) -> List["RequestEntry"]:
-        if len(entries) <= 1:
-            return entries
-        now = peer.ctx.now
+    def rank(self, peer: "Peer", entry: "RequestEntry") -> float:
         # One second of base waiting keeps the rank multiplicative even
         # for requests scheduled the instant they arrive (eMule gives
         # every queued request a base score for the same reason).
-        entries.sort(
-            key=lambda e: -self.credit.rank(e.requester_id, now - e.arrival_time + 1.0)
+        return self.credit.rank(
+            entry.requester_id, peer.ctx.now - entry.arrival_time + 1.0
         )
-        return entries
 
 
 class ParticipationDiscipline(ServiceDiscipline):
     """KaZaA claimed participation level, waiting time as tiebreak."""
 
     name = "participation"
+    ranked = True
 
-    def order(self, peer: "Peer", entries: List["RequestEntry"]) -> List["RequestEntry"]:
-        if len(entries) <= 1:
-            return entries
+    def rank(self, peer: "Peer", entry: "RequestEntry") -> float:
         ctx = peer.ctx
-        now = ctx.now
-
-        def priority(entry: "RequestEntry") -> float:
-            requester = ctx.peer(entry.requester_id)
-            return participation_priority(
-                requester.participation.claimed_level, now - entry.arrival_time
-            )
-
-        entries.sort(key=lambda e: -priority(e))
-        return entries
+        requester = ctx.peer(entry.requester_id)
+        return participation_priority(
+            requester.participation.claimed_level, ctx.now - entry.arrival_time
+        )
 
 
 _DISCIPLINES = {

@@ -57,6 +57,32 @@ def open_wants(peer: "Peer", only_object: Optional[int] = None) -> Dict[int, Set
     return wants
 
 
+def search_state_key(peer: "Peer") -> tuple:
+    """Fingerprint of everything an unrestricted ring search reads.
+
+    Covers the four inputs of :func:`open_wants` + :func:`find_candidates`:
+    the peer's IRQ content (``version``), entry↔transfer attachments
+    (``binding_epoch`` — they gate which entries are usable edges), the
+    provider sets of the peer's pending objects (per-object lookup
+    versions — the *only* slice of the index the search reads, so
+    unrelated register/unregister churn elsewhere in the network does
+    not reopen this peer's gate) and the pending-download ledger (each
+    download's ``epoch`` moves on any block/transfer state change).
+    Equal keys ⇒ identical search inputs ⇒ a search that found nothing
+    will find nothing again, so the periodic scan can skip it outright.
+    """
+    irq = peer.irq
+    lookup = peer.ctx.lookup
+    return (
+        irq.version,
+        irq.binding_epoch,
+        tuple(
+            (object_id, download.epoch, lookup.object_version(object_id))
+            for object_id, download in peer.pending.items()
+        ),
+    )
+
+
 def try_form_exchanges(
     peer: "Peer",
     only_object: Optional[int] = None,
@@ -67,18 +93,37 @@ def try_form_exchanges(
     Returns the number of rings formed.  Candidates are re-validated
     just before each commit because an earlier commit in the same pass
     may have consumed a want or a slot.
+
+    The unrestricted form (the periodic scan) is gated on change
+    tracking: a pass whose previous search found *no candidates* and
+    whose :func:`search_state_key` has not moved since skips the whole
+    search — no provider-set copies, no index intersections.  Searches
+    that found candidates are never gated (their outcome also depends
+    on remote validation state the key deliberately does not cover),
+    so metrics and formed rings are bit-identical to the ungated code.
     """
     policy = peer.policy
     if not policy.enables_exchanges or not peer.shares:
         return 0
+    gate_key = None
+    if only_object is None and entries is None:
+        gate_key = search_state_key(peer)
+        if gate_key == peer.idle_search_key:
+            return 0
     wants = open_wants(peer, only_object=only_object)
     if not wants:
+        if gate_key is not None:
+            peer.idle_search_key = gate_key
         return 0
     candidates = find_candidates(
         peer.peer_id, peer.irq, wants, policy.max_ring, entries=entries
     )
     if not candidates:
+        if gate_key is not None:
+            peer.idle_search_key = gate_key
         return 0
+    if gate_key is not None:
+        peer.idle_search_key = None
     metrics = peer.ctx.metrics
     formed = 0
     for candidate in policy.order(candidates):

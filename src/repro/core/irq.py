@@ -16,8 +16,17 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.core.request_tree import Path, RequestTreeNode, occurrence_index
+from repro.core.request_tree import (
+    Path,
+    RequestTreeNode,
+    occurrence_index,
+    occurrence_subindex,
+    prune,
+    tree_peer_set,
+)
 from repro.errors import ProtocolError
+
+_NO_PATHS: tuple = ()
 
 
 class RequestEntry:
@@ -39,6 +48,9 @@ class RequestEntry:
         "active",
         "transfer",
         "_occ",
+        "_paths",
+        "_indexed",
+        "_pruned",
     )
 
     def __init__(
@@ -56,6 +68,18 @@ class RequestEntry:
         #: The transfer currently serving this request (None = queued).
         self.transfer = None
         self._occ: Optional[Dict[int, List[Path]]] = None
+        #: Per-peer materialized path lists (lazier than ``_occ``: ring
+        #: search usually probes one or two providers per entry, not
+        #: every peer in the tree).
+        self._paths: Optional[Dict[int, List[Path]]] = None
+        #: The peer-id set this entry is indexed under in its queue —
+        #: the cheap :func:`tree_peer_set` walk, not the occurrence
+        #: keys, so the full path index stays lazy until ring search
+        #: actually queries this entry.
+        self._indexed: Set[int] = frozenset()
+        #: Cached ``(levels, children, node_count)`` of the attached
+        #: tree's depth-pruned view (see :meth:`pruned_children`).
+        self._pruned: Optional[Tuple[int, Tuple[RequestTreeNode, ...], int]] = None
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -67,15 +91,86 @@ class RequestEntry:
         return self.active and self.transfer is None
 
     def occurrences(self) -> Dict[int, List[Path]]:
-        """peer_id → paths (cached until the tree is refreshed)."""
-        if self._occ is None:
-            self._occ = occurrence_index(self.requester_id, self.object_id, self.tree)
-        return self._occ
+        """peer_id → paths (cached until the tree is refreshed).
+
+        Shared through the snapshot root: the same frozen tree travels
+        to every provider in a request's fanout, so sibling entries for
+        the same (requester, object) reuse one index instead of each
+        walking the tree.  The shared index is read-only by convention.
+        """
+        occ = self._occ
+        if occ is None:
+            tree = self.tree
+            if tree is None:
+                occ = occurrence_index(self.requester_id, self.object_id, None)
+            else:
+                cache = tree.occurrence_cache()
+                key = (self.requester_id, self.object_id)
+                occ = cache.get(key)
+                if occ is None:
+                    occ = occurrence_index(self.requester_id, self.object_id, tree)
+                    cache[key] = occ
+            self._occ = occ
+        return occ
+
+    def paths_for(self, peer_id: int) -> List[Path]:
+        """This entry's usable paths ending at one peer (lazy, cached).
+
+        Equivalent to ``occurrences().get(peer_id, [])`` but only
+        materializes the requested peer's bucket — ring search probes a
+        couple of providers per entry, not the whole tree.
+        """
+        occ = self._occ
+        if occ is not None:
+            return occ.get(peer_id, _NO_PATHS)
+        cache = self._paths
+        if cache is None:
+            cache = {}
+            self._paths = cache
+        paths = cache.get(peer_id)
+        if paths is None:
+            prefix: Path = ((self.requester_id, self.object_id),)
+            if peer_id == self.requester_id:
+                paths = [prefix]
+            else:
+                subs = occurrence_subindex(self.requester_id, self.tree).get(peer_id)
+                paths = [prefix + sub for sub in subs] if subs else _NO_PATHS
+            cache[peer_id] = paths
+        return paths
+
+    def pruned_children(
+        self, levels: int
+    ) -> Tuple[Tuple[RequestTreeNode, ...], int]:
+        """The attached tree's children pruned to ``levels``, cached.
+
+        Returns ``(children, total_node_count)`` of the *unbudgeted*
+        prune; :func:`~repro.core.request_tree.build_snapshot` adopts it
+        whenever the count fits its remaining node budget (where the
+        budgeted per-node prune would reproduce it node for node) and
+        falls back to the budgeted prune otherwise.  The cache survives
+        the downstream snapshot rebuilds between refreshes of this
+        entry's own tree, which is where the reuse comes from.
+        """
+        cached = self._pruned
+        if cached is not None and cached[0] == levels:
+            return cached[1], cached[2]
+        kids: List[RequestTreeNode] = []
+        if self.tree is not None:
+            for sub in self.tree.children:
+                copied = prune(sub, levels)
+                if copied is not None:
+                    kids.append(copied)
+        children = tuple(kids)
+        count = sum(kid.node_count() for kid in children)
+        self._pruned = (levels, children, count)
+        return children, count
 
     def set_tree(self, tree: Optional[RequestTreeNode]) -> None:
-        """Replace the attached snapshot (invalidates the path cache)."""
+        """Replace the attached snapshot (invalidates the path caches)."""
         self.tree = tree
         self._occ = None
+        self._paths = None
+        self._pruned = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "active" if self.active else "dead"
@@ -99,6 +194,15 @@ class IncomingRequestQueue:
         self.rejected_duplicate = 0
         #: Bumped on every content change; snapshot caches key off it.
         self.version = 0
+        #: Bumped when an entry's transfer attachment changes (bind,
+        #: release, ring downgrade).  Attachment affects which entries
+        #: are usable ring-search edges but not the queue's content, so
+        #: it gets its own counter: search gating keys off
+        #: ``(version, binding_epoch)`` while tree-snapshot caches keep
+        #: keying off ``version`` alone, exactly as before.
+        self.binding_epoch = 0
+        self._snapshot: Optional[List[RequestEntry]] = None
+        self._snapshot_version = -1
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -133,7 +237,8 @@ class IncomingRequestQueue:
             self.rejected_full += 1
             return False
         self._entries[entry.key] = entry
-        for peer_id in entry.occurrences():
+        entry._indexed = tree_peer_set(entry.requester_id, entry.tree)
+        for peer_id in entry._indexed:
             self._peer_index.setdefault(peer_id, []).append(entry)
         self.version += 1
         return True
@@ -144,10 +249,14 @@ class IncomingRequestQueue:
         if entry is None:
             return None
         entry.active = False
-        self._dead_in_index += len(entry.occurrences())
+        self._dead_in_index += len(entry._indexed)
         self.version += 1
         self._maybe_compact()
         return entry
+
+    def note_binding_change(self) -> None:
+        """An entry was attached to / detached from a transfer."""
+        self.binding_epoch += 1
 
     def pop_entry(self, entry: RequestEntry) -> None:
         """Remove a specific entry object (used when serving it)."""
@@ -166,9 +275,10 @@ class IncomingRequestQueue:
         """
         if self._entries.get(entry.key) is not entry:
             raise ProtocolError(f"cannot refresh unknown entry {entry!r}")
-        old_peers = set(entry.occurrences())
+        old_peers = entry._indexed
         entry.set_tree(tree)
-        new_peers = set(entry.occurrences())
+        new_peers = tree_peer_set(entry.requester_id, tree)
+        entry._indexed = new_peers
         for peer_id in new_peers - old_peers:
             self._peer_index.setdefault(peer_id, []).append(entry)
         self._dead_in_index += len(old_peers - new_peers)
@@ -181,28 +291,35 @@ class IncomingRequestQueue:
     def get(self, requester_id: int, object_id: int) -> Optional[RequestEntry]:
         return self._entries.get((requester_id, object_id))
 
+    def snapshot(self) -> List[RequestEntry]:
+        """FIFO list of current entries, cached until the queue changes.
+
+        Scheduling passes iterate the queue far more often than its
+        membership changes, so the list is rebuilt only on a version
+        bump.  Callers must treat the list as read-only; it stays valid
+        (entries merely turn inactive) if the queue mutates mid-walk.
+        """
+        if self._snapshot is None or self._snapshot_version != self.version:
+            self._snapshot = list(self._entries.values())
+            self._snapshot_version = self.version
+        return self._snapshot
+
     def active_entries(self) -> Iterator[RequestEntry]:
         """FIFO iteration over live entries (snapshot; safe to mutate)."""
-        return iter(list(self._entries.values()))
-
-    def queued_entries(self) -> Iterator[RequestEntry]:
-        """FIFO iteration over entries awaiting service."""
-        return iter([e for e in self._entries.values() if e.transfer is None])
+        return iter(self.snapshot())
 
     def tree_entries(self) -> Iterator[RequestEntry]:
         """Entries visible as request-graph edges.
 
         Exchange-served requests are excluded: the paper allows one
         exchange per registered request, so such an edge can never be
-        recruited into another ring.
+        recruited into another ring.  Backed by the cached snapshot
+        (stable under mutation), filtered lazily — snapshot building
+        iterates this on every rebuild.
         """
-        return iter(
-            [
-                e
-                for e in self._entries.values()
-                if e.transfer is None or not e.transfer.is_exchange
-            ]
-        )
+        for entry in self.snapshot():
+            if entry.transfer is None or not entry.transfer.is_exchange:
+                yield entry
 
     def indexed_peers(self) -> Set[int]:
         """Peers appearing in any attached tree (may include stale keys)."""
@@ -226,7 +343,7 @@ class IncomingRequestQueue:
                 continue
             if entry.transfer is not None and entry.transfer.is_exchange:
                 continue
-            for path in entry.occurrences().get(peer_id, ()):
+            for path in entry.paths_for(peer_id):
                 yield entry, path
 
     # ------------------------------------------------------------------
@@ -245,7 +362,7 @@ class IncomingRequestQueue:
             return
         new_index: Dict[int, List[RequestEntry]] = {}
         for entry in self._entries.values():
-            for peer_id in entry.occurrences():
+            for peer_id in entry._indexed:
                 new_index.setdefault(peer_id, []).append(entry)
         self._peer_index = new_index
         self._dead_in_index = 0

@@ -21,7 +21,7 @@ implement separately in :mod:`repro.core.bloom_tree`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.core.irq import IncomingRequestQueue
@@ -37,9 +37,22 @@ class RequestTreeNode:
 
     ``object_id`` is the object this peer requested from its parent;
     it is ``None`` only for the implicit root.
+
+    Nodes are immutable once built (``children`` is a tuple and is never
+    reassigned), which is what lets :func:`prune` share whole subtrees
+    between snapshots instead of deep-copying them, and what makes the
+    cached ``node_count``/``depth`` values safe.
     """
 
-    __slots__ = ("peer_id", "object_id", "children")
+    __slots__ = (
+        "peer_id",
+        "object_id",
+        "children",
+        "_node_count",
+        "_depth",
+        "_peer_set",
+        "_occ_cache",
+    )
 
     def __init__(
         self,
@@ -50,17 +63,43 @@ class RequestTreeNode:
         self.peer_id = peer_id
         self.object_id = object_id
         self.children = children
+        self._node_count: Optional[int] = None
+        self._depth: Optional[int] = None
+        #: Root-level caches, shared by every entry holding this
+        #: snapshot — one request's fanout attaches the same frozen
+        #: tree at ~``request_fanout`` providers, so derived views
+        #: (peer set, occurrence indexes) are computed once, not per
+        #: provider.  Only populated on roots.
+        self._peer_set: Optional[frozenset] = None
+        self._occ_cache: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def node_count(self) -> int:
-        """Total nodes in this subtree, root included."""
-        return 1 + sum(child.node_count() for child in self.children)
+        """Total nodes in this subtree, root included (cached)."""
+        count = self._node_count
+        if count is None:
+            count = 1 + sum(child.node_count() for child in self.children)
+            self._node_count = count
+        return count
 
     def depth(self) -> int:
-        """Levels in this subtree (a lone root has depth 1)."""
-        if not self.children:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
+        """Levels in this subtree (a lone root has depth 1; cached)."""
+        depth = self._depth
+        if depth is None:
+            if not self.children:
+                depth = 1
+            else:
+                depth = 1 + max(child.depth() for child in self.children)
+            self._depth = depth
+        return depth
+
+    def occurrence_cache(self) -> dict:
+        """The mutable per-root cache used by entry occurrence lookups."""
+        cache = self._occ_cache
+        if cache is None:
+            cache = {}
+            self._occ_cache = cache
+        return cache
 
     def iter_nodes(self) -> Iterator["RequestTreeNode"]:
         yield self
@@ -92,17 +131,30 @@ class RequestTreeNode:
 def prune(
     node: RequestTreeNode, levels: int, budget: Optional[List[int]] = None
 ) -> Optional[RequestTreeNode]:
-    """Copy ``node`` limited to ``levels`` levels and a shared node budget.
+    """``node`` limited to ``levels`` levels and a shared node budget.
 
     ``budget`` is a single-element mutable list so recursion shares it;
     pass None for unbounded.  Returns None when levels or budget hit 0.
+
+    A subtree that already fits both bounds is returned *as is* (nodes
+    are immutable, so sharing is safe) — identical content to the old
+    deep copy, including the preorder truncation shape when the budget
+    runs out mid-tree, without allocating a node per level per snapshot.
     """
     if levels <= 0:
         return None
-    if budget is not None:
+    if budget is None:
+        if node.depth() <= levels:
+            return node
+    else:
         if budget[0] <= 0:
             return None
+        if node.depth() <= levels and node.node_count() <= budget[0]:
+            budget[0] -= node.node_count()
+            return node
         budget[0] -= 1
+    if levels == 1:  # children could only land at level 0 — drop them
+        return RequestTreeNode(node.peer_id, node.object_id, ())
     children: List[RequestTreeNode] = []
     for child in node.children:
         copied = prune(child, levels - 1, budget)
@@ -135,12 +187,21 @@ def build_snapshot(
             budget[0] -= 1  # the entry's own node
             child_children: Tuple[RequestTreeNode, ...] = ()
             if entry.tree is not None and levels > 2:
-                grandchildren: List[RequestTreeNode] = []
-                for sub in entry.tree.children:
-                    copied = prune(sub, levels - 2, budget)
-                    if copied is not None:
-                        grandchildren.append(copied)
-                child_children = tuple(grandchildren)
+                # Fast path: the entry caches its depth-pruned view;
+                # when the whole view fits the remaining budget the
+                # budgeted prune below would reproduce it node for
+                # node, so the (immutable) view is adopted outright.
+                pruned_view, view_count = entry.pruned_children(levels - 2)
+                if view_count <= budget[0]:
+                    child_children = pruned_view
+                    budget[0] -= view_count
+                else:
+                    grandchildren: List[RequestTreeNode] = []
+                    for sub in entry.tree.children:
+                        copied = prune(sub, levels - 2, budget)
+                        if copied is not None:
+                            grandchildren.append(copied)
+                    child_children = tuple(grandchildren)
             children.append(
                 RequestTreeNode(entry.requester_id, entry.object_id, child_children)
             )
@@ -179,27 +240,94 @@ def iter_occurrences(
     yield from walk(tree, (root_step,), frozenset((requester_id,)))
 
 
-def occurrence_index(
-    requester_id: int, object_id: int, tree: Optional[RequestTreeNode]
-) -> dict:
-    """``{peer_id: [path, ...]}`` over one entry's occurrences.
+def tree_peer_set(
+    requester_id: int, tree: Optional[RequestTreeNode]
+) -> Set[int]:
+    """All peer ids appearing in one entry's composite tree, cheaply.
 
-    Iterative implementation (this runs on every tree refresh, which is
-    the hottest loop of a busy simulation).  Paths are short (max ring
-    size), so duplicate-peer filtering scans the path instead of
-    carrying a set.
+    A *superset* of :func:`occurrence_index`'s keys: the walk skips the
+    duplicate-peer path filter, so a peer reachable only through paths
+    that revisit a peer is still included.  The IRQ's inverted index
+    tolerates that — a lookup for such a peer just finds no usable path
+    — and in exchange the index can be maintained without materializing
+    any path tuples, leaving the expensive occurrence indexing to the
+    entries a ring search actually touches.
     """
-    root_step: PathStep = (requester_id, object_id)
-    index: dict = {requester_id: [(root_step,)]}
     if tree is None:
-        return index
-    stack: List[Tuple[RequestTreeNode, Path]] = [(tree, (root_step,))]
+        return {requester_id}
+    cached = tree._peer_set
+    if cached is None:
+        acc = {tree.peer_id}
+        stack: List[RequestTreeNode] = [tree]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                if child.object_id is None:
+                    continue  # malformed: non-root without an edge label
+                acc.add(child.peer_id)
+                if child.children:
+                    stack.append(child)
+        cached = frozenset(acc)
+        tree._peer_set = cached
+    if tree.peer_id == requester_id:
+        # The usual case: the snapshot root *is* the requester, so the
+        # cached set can be shared as-is (read-only by convention).
+        return cached
+    peers = set(cached)
+    peers.add(requester_id)
+    return peers
+
+
+#: Reserved key under which a root's object-independent sub-index is
+#: cached in its occurrence cache (real keys are (peer, object) tuples).
+_SUBINDEX_KEY = "subindex"
+
+
+def occurrence_subindex(
+    requester_id: int, tree: Optional[RequestTreeNode]
+) -> dict:
+    """The (cached) object-independent half of an entry's occurrences.
+
+    ``{peer_id: [subpath, ...]}`` with the root step stripped; shared
+    through the root's cache whenever the root *is* the requester (the
+    only shape the protocol produces).  Callers must treat the result
+    as read-only.
+    """
+    if tree is None:
+        return {}
+    if tree.peer_id == requester_id:
+        cache = tree.occurrence_cache()
+        sub = cache.get(_SUBINDEX_KEY)
+        if sub is None:
+            sub = _occurrence_subindex(tree, requester_id)
+            cache[_SUBINDEX_KEY] = sub
+        return sub
+    # Hand-built shape: the root is not the requester, so the walk
+    # depends on the requester and cannot be shared through the root.
+    return _occurrence_subindex(tree, requester_id)
+
+
+def _occurrence_subindex(tree: RequestTreeNode, requester_id: int) -> dict:
+    """``{peer_id: [subpath, ...]}`` of a snapshot, minus the root step.
+
+    The walk's duplicate-peer filter is seeded with the requester; the
+    protocol always makes the requester the snapshot root, in which
+    case the result is object-independent — only the root step
+    (requester, object) differs between the entries sharing one
+    snapshot — so one walk per tree serves every (object, provider)
+    combination of the requester's fanout, with
+    :func:`occurrence_index` just prefixing the root step.
+    """
+    index: dict = {}
+    stack: List[Tuple[RequestTreeNode, Path]] = [(tree, ())]
     while stack:
         node, path = stack.pop()
         for child in node.children:
             if child.object_id is None:
                 continue  # malformed: non-root without an edge label
             peer_id = child.peer_id
+            if peer_id == requester_id:
+                continue  # the requester seeds the duplicate filter
             duplicate = False
             for step_peer, _step_object in path:
                 if step_peer == peer_id:
@@ -215,4 +343,25 @@ def occurrence_index(
                 bucket.append(child_path)
             if child.children:
                 stack.append((child, child_path))
+    return index
+
+
+def occurrence_index(
+    requester_id: int, object_id: int, tree: Optional[RequestTreeNode]
+) -> dict:
+    """``{peer_id: [path, ...]}`` over one entry's occurrences.
+
+    Paths are short (max ring size), so duplicate-peer filtering scans
+    the path instead of carrying a set.  When the snapshot root is the
+    requester (the only shape the protocol produces), the expensive
+    walk is shared through the root's cache and only the per-object
+    root-step prefixing happens here.
+    """
+    root_step: PathStep = (requester_id, object_id)
+    index: dict = {requester_id: [(root_step,)]}
+    if tree is None:
+        return index
+    prefix = (root_step,)
+    for peer_id, paths in occurrence_subindex(requester_id, tree).items():
+        index[peer_id] = [prefix + path for path in paths]
     return index

@@ -41,11 +41,14 @@ def serve_pending(peer: "Peer") -> int:
     ctx = peer.ctx
     # Service order is the peer's own discipline (FIFO, eMule credit or
     # KaZaA participation) — per peer, not a global mode, so one network
-    # can mix disciplines across peer classes.
-    for entry in peer.discipline.order(peer, list(peer.irq.queued_entries())):
+    # can mix disciplines across peer classes.  The queue snapshot is
+    # cached by IRQ version and consumed lazily: a pass with two free
+    # slots walks two servable entries, not a freshly materialized and
+    # fully discipline-sorted copy of the whole queue.
+    for entry in peer.discipline.service_iter(peer, peer.irq.snapshot()):
         if peer.upload_pool.free <= 0:
             break
-        if not entry.queued:  # consumed earlier in this very pass
+        if not entry.queued:  # attached to a transfer, or consumed this pass
             continue
         requester = ctx.peer(entry.requester_id)
         download = requester.pending.get(entry.object_id)

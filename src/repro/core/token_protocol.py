@@ -50,9 +50,10 @@ def validate_ring(ctx: "SimContext", edges: Iterable[RingEdge]) -> None:
     """
     edges = list(edges)
     ring_size = len(edges)
+    peers = ctx.peers
     for edge in edges:
-        provider = ctx.peer(edge.provider_id)
-        requester = ctx.peer(edge.requester_id)
+        provider = peers[edge.provider_id]
+        requester = peers[edge.requester_id]
 
         if not provider.online:
             raise TokenValidationFailed(REASON_OFFLINE, provider.peer_id)

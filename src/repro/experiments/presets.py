@@ -3,7 +3,7 @@
 The paper's absolute configuration (Table II) needs runs several times
 longer than the ~400-minute mean download time to measure download times
 without censoring bias — minutes of wall clock per point, hours for a
-full sweep.  Three presets trade fidelity for speed:
+full sweep.  Four presets trade fidelity for speed (or scale):
 
 * ``paper`` — Table II verbatim with a long measurement window.  Use
   for the record; hours per figure.
@@ -12,6 +12,11 @@ full sweep.  Three presets trade fidelity for speed:
   per point; this is what EXPERIMENTS.md reports.
 * ``smoke`` — 40 peers, 4 MB objects; seconds per point.  This is what
   ``pytest benchmarks/`` runs so CI stays fast.
+* ``scale`` — 1000 peers, the large-network stress preset.  Five times
+  the paper's population with content densities scaled to match, a
+  shorter measurement window, and churn-friendly defaults; used by
+  ``benchmarks/bench_scale.py`` to track how far one simulation is
+  from the ROADMAP's million-user target.
 
 All presets keep the paper's *structure*: 10 kbit/s slots, 6 pending
 requests, 50% free-riders, power-law popularity with f = 0.2, initial
@@ -60,6 +65,18 @@ SCALES: Dict[str, dict] = {
         duration=24_000.0,
         warmup=6_000.0,
     ),
+    "scale": dict(
+        num_peers=1000,
+        num_categories=600,
+        objects_per_category_min=1,
+        objects_per_category_max=150,
+        object_size_mb=8.0,
+        block_size_kbit=2048.0,
+        storage_min_objects=5,
+        storage_max_objects=40,
+        duration=12_000.0,
+        warmup=3_000.0,
+    ),
 }
 
 
@@ -72,30 +89,35 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (140.0, 120.0, 100.0, 80.0, 60.0, 40.0),
         "small": (120.0, 80.0, 40.0),
         "smoke": (120.0, 80.0, 40.0),
+        "scale": (120.0, 80.0, 40.0),
     },
     # Fig. 6: maximum exchange ring size N.
     "ring_size": {
         "paper": (1, 2, 3, 4, 5, 6, 7),
         "small": (1, 2, 3, 5, 7),
         "smoke": (2, 3, 5),
+        "scale": (2, 3, 5),
     },
     # Figs. 9/10: popularity factor f.
     "factor": {
         "paper": (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
         "small": (0.0, 0.4, 0.8),
         "smoke": (0.0, 0.4, 0.8),
+        "scale": (0.0, 0.4, 0.8),
     },
     # Fig. 11: maximum outstanding requests per peer.
     "pending": {
         "paper": (2, 3, 4, 5, 6, 7, 8, 9, 10),
         "small": (2, 4, 6, 10),
         "smoke": (2, 6, 10),
+        "scale": (2, 6, 10),
     },
     # Fig. 12: fraction of non-sharing peers.
     "freeloader": {
         "paper": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
         "small": (0.1, 0.3, 0.5, 0.7, 0.9),
         "smoke": (0.2, 0.5, 0.8),
+        "scale": (0.2, 0.5, 0.8),
     },
     # Adoption sweep: fraction of sharers running the exchange mechanism
     # (the network-effects question — how much adoption before the
@@ -104,6 +126,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
         "small": (0.0, 0.25, 0.5, 0.75, 1.0),
         "smoke": (0.0, 0.5, 1.0),
+        "scale": (0.0, 0.5, 1.0),
     },
 }
 

@@ -28,11 +28,14 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
 
 
 def take_peer_offline(peer: "Peer") -> None:
-    """Disconnect: kill transfers, withdraw requests, unpublish."""
+    """Disconnect: kill transfers, withdraw requests, drain the IRQ,
+    unpublish, and park the periodic processes."""
     if not peer.online:
         return
     ctx = peer.ctx
-    # Uploads first: our departure breaks any ring we serve in.
+    # Uploads first: our departure breaks any ring we serve in.  The
+    # PEER_OFFLINE terminations also withdraw the served entries from
+    # our IRQ and from their requesters' registration sets.
     for transfer in peer.active_uploads():
         transfer.terminate(TerminationReason.PEER_OFFLINE)
     # Downloads: both the transfers and the queued registrations.
@@ -42,10 +45,24 @@ def take_peer_offline(peer: "Peer") -> None:
         for provider_id in list(download.registered_at):
             ctx.peer(provider_id).irq.remove(peer.peer_id, download.object.object_id)
         download.registered_at.clear()
+    # Drain the *queued* entries other peers registered with us.  An
+    # entry left behind would keep us in its requester's
+    # ``registered_at`` for the whole offline session, and a download
+    # that looks engaged is never re-looked-up — the requester would
+    # stall on a dead registration even with live alternative
+    # providers in the index.
+    for entry in list(peer.irq.active_entries()):
+        peer.irq.remove(entry.requester_id, entry.object_id)
+        requester = ctx.peer(entry.requester_id)
+        download = requester.pending.get(entry.object_id)
+        if download is not None:
+            download.registered_at.discard(peer.peer_id)
+        requester.schedule_pass()
     if peer.behavior.shares:
         for object_id in peer.store.object_ids():
             ctx.lookup.unregister(peer.peer_id, object_id)
     peer.online = False
+    peer.suspend_periodic()
     ctx.metrics.count("churn.offline")
 
 
@@ -58,6 +75,7 @@ def bring_peer_online(peer: "Peer") -> None:
     if peer.behavior.shares:
         for object_id in peer.store.object_ids():
             ctx.lookup.register(peer.peer_id, object_id)
+    peer.resume_periodic()
     ctx.metrics.count("churn.online")
     # Pending downloads re-register at providers on the next scan; kick
     # one immediately so short sessions still make progress.

@@ -45,12 +45,23 @@ class DownloadState:
         self.completed = False
         #: Active transfers feeding this download, keyed by provider id.
         self.transfers: Dict[int, "Transfer"] = {}
+        #: How many of those are exchange transfers (kept in sync by
+        #: attach/detach and by ring downgrades via
+        #: :meth:`note_exchange_downgrade`) — ``has_exchange_transfer``
+        #: sits on the exchange-search hot path and must not scan.
+        self.exchange_sources = 0
         #: Providers holding a live request entry (queued or being served).
         self.registered_at: Set[int] = set()
         #: Providers known from lookup (refreshed opportunistically).
         self.known_providers: Set[int] = set()
         #: Consecutive starved re-lookups that found no provider.
         self.lookup_failures = 0
+        #: Bumped on every state change an exchange search can observe
+        #: (block ledger moves, transfer attach/detach).  The peer's
+        #: idle-search gate fingerprints its pending downloads with
+        #: these, so an unchanged epoch set proves the search inputs
+        #: did not move.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # block ledger
@@ -68,6 +79,7 @@ class DownloadState:
         if self.unassigned_blocks <= 0:
             return False
         self.unassigned_blocks -= 1
+        self.epoch += 1
         return True
 
     def return_block(self) -> None:
@@ -77,6 +89,7 @@ class DownloadState:
                 f"object {self.object.object_id}: return_block with none in flight"
             )
         self.unassigned_blocks += 1
+        self.epoch += 1
 
     def deliver_block(self) -> bool:
         """Record one delivered block; returns True when the object is done."""
@@ -89,6 +102,7 @@ class DownloadState:
                 f"object {self.object.object_id}: delivery with no block in flight"
             )
         self.delivered_blocks += 1
+        self.epoch += 1
         if self.delivered_blocks >= self.total_blocks:
             self.completed = True
         return self.completed
@@ -104,6 +118,9 @@ class DownloadState:
                 f"{self.object.object_id} to peer {self.peer_id}"
             )
         self.transfers[provider_id] = transfer
+        if transfer.is_exchange:
+            self.exchange_sources += 1
+        self.epoch += 1
 
     def detach_transfer(self, transfer: "Transfer") -> None:
         provider_id = transfer.provider.peer_id
@@ -113,6 +130,19 @@ class DownloadState:
                 f"for object {self.object.object_id}"
             )
         del self.transfers[provider_id]
+        if transfer.is_exchange:
+            self.exchange_sources -= 1
+        self.epoch += 1
+
+    def note_exchange_downgrade(self) -> None:
+        """An attached exchange transfer became a normal one."""
+        if self.exchange_sources <= 0:
+            raise ProtocolError(
+                f"object {self.object.object_id}: downgrade with no "
+                "exchange transfer attached"
+            )
+        self.exchange_sources -= 1
+        self.epoch += 1
 
     def transfer_from(self, provider_id: int) -> Optional["Transfer"]:
         return self.transfers.get(provider_id)
@@ -124,7 +154,7 @@ class DownloadState:
         The paper allows only one exchange per registered request ("if
         multiple exchanges are possible ... only one can be chosen").
         """
-        return any(t.is_exchange for t in self.transfers.values())
+        return self.exchange_sources > 0
 
     @property
     def active_sources(self) -> int:

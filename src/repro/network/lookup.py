@@ -10,6 +10,25 @@ peers that currently have the object".
 provider index: sharing peers register the objects they store; a lookup
 returns a ``coverage`` fraction of the current providers, sampled with
 the caller's RNG stream so runs stay deterministic.
+
+Two determinism notes that downstream consumers rely on:
+
+* ``version`` counts index mutations globally; per-object counters
+  (:meth:`LookupService.object_version`) do the same per provider set.
+  Exchange-search gating keys off the per-object counters to prove "no
+  provider set *I can see* changed since my last empty search", so
+  every register/unregister must bump both.
+* The two coverage regimes consume *different RNG stream shapes* on
+  purpose: full coverage (``coverage >= 1.0``) permutes the candidate
+  list with ``rand.shuffle``, partial coverage draws a subset with
+  ``rand.sample``.  The shapes are each individually deterministic and
+  are pinned by tests, but a run at ``coverage=1.0`` and a run at
+  ``coverage=0.999`` are *different RNG universes* — when comparing a
+  coverage sweep, compare cells against same-path baselines (the sweep
+  should include an explicit ``1.0`` cell rather than extrapolating
+  from ``<1.0`` cells, and vice versa).  Normalizing both paths onto
+  ``rand.sample`` would silently re-seed every historical full-coverage
+  result, so the asymmetry is documented and frozen instead.
 """
 
 from __future__ import annotations
@@ -28,6 +47,21 @@ class LookupService:
             raise LookupError_(f"coverage must be in (0, 1], got {coverage}")
         self.coverage = coverage
         self._providers: Dict[int, Set[int]] = {}
+        #: Sorted provider lists, built lazily per object and dropped on
+        #: any mutation of that object's provider set.  ``find_providers``
+        #: used to ``sorted()`` the live set on every call — at scale
+        #: that sort dominated the lookup cost while the underlying set
+        #: changed orders of magnitude less often than it was read.
+        self._sorted: Dict[int, List[int]] = {}
+        #: Bumped on every register/unregister (see module docstring).
+        self.version = 0
+        #: Per-object mutation counters (never deleted, so an object
+        #: whose provider set empties and later refills keeps counting
+        #: up).  Exchange-search gating keys off these instead of the
+        #: global counter, so unrelated index churn — every download
+        #: completion registers something somewhere — does not reopen
+        #: every peer's gate.
+        self._versions: Dict[int, int] = {}
         self.lookups_served = 0
 
     # ------------------------------------------------------------------
@@ -35,6 +69,9 @@ class LookupService:
     # ------------------------------------------------------------------
     def register(self, peer_id: int, object_id: int) -> None:
         self._providers.setdefault(object_id, set()).add(peer_id)
+        self._sorted.pop(object_id, None)
+        self.version += 1
+        self._versions[object_id] = self._versions.get(object_id, 0) + 1
 
     def unregister(self, peer_id: int, object_id: int) -> None:
         providers = self._providers.get(object_id)
@@ -45,6 +82,9 @@ class LookupService:
         providers.remove(peer_id)
         if not providers:
             del self._providers[object_id]
+        self._sorted.pop(object_id, None)
+        self.version += 1
+        self._versions[object_id] = self._versions.get(object_id, 0) + 1
 
     def unregister_all(self, peer_id: int, object_ids: List[int]) -> None:
         for object_id in object_ids:
@@ -71,6 +111,21 @@ class LookupService:
     def provider_count(self, object_id: int) -> int:
         return len(self._providers.get(object_id, ()))
 
+    def object_version(self, object_id: int) -> int:
+        """Mutation count of one object's provider set (0 = never seen)."""
+        return self._versions.get(object_id, 0)
+
+    def _sorted_providers(self, object_id: int) -> List[int]:
+        """Cached ascending provider list; read-only by convention."""
+        cached = self._sorted.get(object_id)
+        if cached is None:
+            live = self._providers.get(object_id)
+            if not live:
+                return []
+            cached = sorted(live)
+            self._sorted[object_id] = cached
+        return cached
+
     def find_providers(
         self, object_id: int, requester_id: int, rand: random.Random
     ) -> List[int]:
@@ -78,13 +133,17 @@ class LookupService:
 
         Models the search mechanism's partial view: with coverage c and
         n live providers, returns ceil(c*n) of them, uniformly sampled,
-        in deterministic (seeded) order.
+        in deterministic (seeded) order.  The full-coverage path uses
+        ``shuffle`` and the partial path ``sample`` — see the module
+        docstring for why that asymmetry is load-bearing and frozen.
         """
         self.lookups_served += 1
-        live = self._providers.get(object_id)
-        if not live:
+        base = self._sorted_providers(object_id)
+        if not base:
             return []
-        candidates = sorted(live - {requester_id})
+        # A fresh list per call: the shuffle below must never touch the
+        # cached sorted view, and callers may keep the result.
+        candidates = [p for p in base if p != requester_id]
         if not candidates:
             return []
         if self.coverage >= 1.0:

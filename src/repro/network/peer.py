@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.content.interests import InterestProfile
     from repro.context import SimContext
     from repro.network.transfer import Transfer
+    from repro.sim.processes import PeriodicProcess
 
 
 class Peer:
@@ -84,8 +85,19 @@ class Peer:
         self._uploads: Dict[Tuple[int, int], "Transfer"] = {}
         self._exchange_uploads = 0
         self._pass_scheduled = False
+        #: Change-tracking key of the last unrestricted ring search that
+        #: found no candidates (see exchange_manager.search_state_key);
+        #: None whenever a re-search could find something new.
+        self.idle_search_key: Optional[tuple] = None
+        #: This peer's periodic scan/storage processes, attached by the
+        #: simulation assembly so churn can pause them while offline.
+        self.periodic_processes: List["PeriodicProcess"] = []
         self._snapshot_cache: Optional[Tuple[int, object]] = None
         self._last_tree_refresh = -math.inf
+        #: IRQ version whose snapshot a *completed* refresh pass pushed
+        #: to every live registered entry; None when some entry could
+        #: not be refreshed (exchange-attached) or was never covered.
+        self._push_complete_version: Optional[int] = None
         self._workload_stalled_until = -math.inf
         self._rand = ctx.rng.stream(f"peer{peer_id}")
         # The service discipline owns the baseline-mechanism state
@@ -140,8 +152,7 @@ class Peer:
         return 0
 
     def blocks_for_object(self, object_id: int) -> int:
-        size_kbit = self.ctx.catalog.object(object_id).size_kbit
-        return max(1, math.ceil(size_kbit / self.ctx.config.block_size_kbit))
+        return self.ctx.blocks_for(object_id)
 
     # ------------------------------------------------------------------
     # workload
@@ -267,6 +278,33 @@ class Peer:
         return tree
 
     # ------------------------------------------------------------------
+    # periodic processes (attached by the simulation assembly)
+    # ------------------------------------------------------------------
+    def attach_periodic(self, process: "PeriodicProcess") -> None:
+        self.periodic_processes.append(process)
+
+    def suspend_periodic(self) -> None:
+        """Pause scan/storage loops (peer went offline).
+
+        An offline peer's periodic events are pure heap churn — its
+        scan/storage callbacks early-return on ``online`` — so under
+        churn at scale they were a large fraction of all fired events.
+        """
+        for process in self.periodic_processes:
+            process.pause()
+
+    def resume_periodic(self) -> None:
+        """Resume paused loops with a fresh per-process phase stagger.
+
+        The stagger draws from this peer's own RNG stream, keeping
+        churned runs deterministic while avoiding the thundering herd
+        of every reconnecting peer scanning at the same instant.
+        """
+        for process in self.periodic_processes:
+            if process.paused:
+                process.resume(start_delay=self._rand.random() * process.interval)
+
+    # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
     def schedule_pass(self) -> None:
@@ -310,22 +348,37 @@ class Peer:
         if now - self._last_tree_refresh < self.ctx.config.tree_refresh_interval:
             return
         self._last_tree_refresh = now
+        version = self.irq.version
+        if version == self._push_complete_version:
+            # A completed push already delivered this exact snapshot to
+            # every live registered entry, and new registrations attach
+            # the current snapshot at send time — walking the fanout
+            # would push nothing.  (Any pass that had to skip an
+            # exchange-attached entry cleared the marker, since that
+            # entry goes stale-but-pushable when its ring ends.)
+            return
         snapshot = None
+        complete = True
+        peers = self.ctx.peers
+        peer_id = self.peer_id
         for download in self.pending.values():
             if download.completed:
                 continue
+            object_id = download.object.object_id
             for provider_id in download.registered_at:
-                provider = self.ctx.peer(provider_id)
-                entry = provider.irq.get(self.peer_id, download.object.object_id)
+                provider = peers[provider_id]
+                entry = provider.irq.get(peer_id, object_id)
                 if entry is None or not entry.active:
                     continue
                 if entry.transfer is not None and entry.transfer.is_exchange:
+                    complete = False  # stale once the exchange ends
                     continue
                 if snapshot is None:
                     snapshot = self._tree_snapshot()
                 if entry.tree is snapshot:
                     continue  # provider already holds the current tree
                 provider.irq.refresh_tree(entry, snapshot)
+        self._push_complete_version = version if complete else None
 
     def _replenish_downloads(self) -> None:
         if self.workload is not None and len(self.pending) < self.ctx.config.max_pending:

@@ -74,6 +74,7 @@ class Transfer:
             raise ProtocolError(f"entry {entry!r} already attached to a transfer")
         entry.transfer = self
         self.entry = entry
+        self.provider.irq.note_binding_change()
 
     # ------------------------------------------------------------------
     # introspection
@@ -224,6 +225,7 @@ class Transfer:
             return
         if entry.transfer is self:
             entry.transfer = None
+            self.provider.irq.note_binding_change()
         if not entry.active:
             self.entry = None
             return
@@ -250,6 +252,12 @@ class Transfer:
         self.ring = None
         self.ring_size = 0
         self.ring_id = None
+        # The downgrade flips this transfer's is_exchange, which both
+        # the requester's open-wants view and the provider's usable-edge
+        # filters observe — sync the counter and nudge both trackers.
+        self.download.note_exchange_downgrade()
+        if self.entry is not None:
+            self.provider.irq.note_binding_change()
         self.session_start = self._ctx.now
         self.session_blocks = 0
         self.provider.note_upload_downgraded()

@@ -4,7 +4,9 @@ An :class:`Event` wraps a zero-argument callback together with its fire
 time and a monotonically increasing sequence number.  The sequence number
 makes the heap ordering total and deterministic: two events scheduled for
 the same instant fire in the order they were scheduled, which keeps runs
-reproducible under a fixed seed.
+reproducible under a fixed seed.  The ordering itself lives in the
+engine's heap entries — ``(time, seq, event)`` tuples — so events carry
+no comparison methods of their own.
 
 Cancellation is *lazy*: cancelling marks the event and the engine skips
 it when popped.  This is the standard technique for heap-based
@@ -58,11 +60,6 @@ class Event:
     def fire(self) -> None:
         """Invoke the callback (the engine calls this; tests may too)."""
         self.callback()
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else "pending"

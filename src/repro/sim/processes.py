@@ -43,6 +43,7 @@ class PeriodicProcess:
         self._jitter_fn = jitter_fn
         self._event: Optional[Event] = None
         self._stopped = False
+        self._paused = False
         self._fired = 0
         first = interval if start_delay is None else start_delay
         if jitter_fn is not None:
@@ -58,15 +59,57 @@ class PeriodicProcess:
     def stopped(self) -> bool:
         return self._stopped
 
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
     def stop(self) -> None:
         """Cancel the pending firing and stop rescheduling."""
         self._stopped = True
+        self._paused = False
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
+    def pause(self) -> None:
+        """Suspend firing without tearing the process down.
+
+        The pending event is cancelled, so a paused process contributes
+        *nothing* to the event heap — the point of pausing offline
+        peers' scan/storage loops is exactly that their no-op ticks
+        stop being scheduled at all.  Idempotent; a no-op once stopped.
+        """
+        if self._stopped or self._paused:
+            return
+        self._paused = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def resume(self, start_delay: Optional[float] = None) -> None:
+        """Resume a paused process.
+
+        ``start_delay`` seconds until the next firing; None restarts
+        the regular cadence (one interval, plus jitter if configured).
+        Callers that staggered the original phases should pass a fresh
+        stagger here — peers pausing together (e.g. a churn burst)
+        would otherwise resume in phase.  Idempotent; a no-op unless
+        paused.
+        """
+        if self._stopped or not self._paused:
+            return
+        self._paused = False
+        delay = self._interval if start_delay is None else start_delay
+        if start_delay is None and self._jitter_fn is not None:
+            delay += self._jitter_fn()
+        self._event = self._engine.schedule(max(0.0, delay), self._fire, name=self._name)
+
     def _fire(self) -> None:
-        if self._stopped:
+        if self._stopped or self._paused:
             return
         self._fired += 1
         # Reschedule before invoking the callback so a callback that

@@ -194,24 +194,26 @@ class FileSharingSimulation:
         engine = self.ctx.engine
         stagger = self.ctx.rng.stream("stagger")
         for peer in self.ctx.peers.values():
-            self._processes.append(
-                PeriodicProcess(
-                    engine,
-                    config.scan_interval,
-                    peer.scan,
-                    name=f"scan.p{peer.peer_id}",
-                    start_delay=stagger.random() * config.scan_interval,
-                )
+            # Attached to the peer as well so churn can pause the loops
+            # while the peer is offline (an offline peer's scan/storage
+            # ticks are pure event-heap churn).
+            scan = PeriodicProcess(
+                engine,
+                config.scan_interval,
+                peer.scan,
+                name=f"scan.p{peer.peer_id}",
+                start_delay=stagger.random() * config.scan_interval,
             )
-            self._processes.append(
-                PeriodicProcess(
-                    engine,
-                    config.storage_check_interval,
-                    peer.storage_check,
-                    name=f"storage.p{peer.peer_id}",
-                    start_delay=stagger.random() * config.storage_check_interval,
-                )
+            storage = PeriodicProcess(
+                engine,
+                config.storage_check_interval,
+                peer.storage_check,
+                name=f"storage.p{peer.peer_id}",
+                start_delay=stagger.random() * config.storage_check_interval,
             )
+            peer.attach_periodic(scan)
+            peer.attach_periodic(storage)
+            self._processes.extend((scan, storage))
 
     def _bootstrap(self) -> None:
         """Stagger initial request bursts over the bootstrap window."""

@@ -9,7 +9,7 @@ from repro.metrics.records import TerminationReason
 from repro.network.churn import bring_peer_online, take_peer_offline
 from repro.simulation import FileSharingSimulation, run_simulation
 
-from tests.helpers import build_peer, give, make_ctx, small_config
+from tests.helpers import build_peer, drain, give, make_ctx, small_config
 
 
 class TestOfflineTransitions:
@@ -63,6 +63,63 @@ class TestOfflineTransitions:
         assert ctx.lookup.providers(0, exclude=-1) == set()
         bring_peer_online(peer)
         assert ctx.lookup.providers(0, exclude=-1) == {0}
+
+    def test_offline_drains_queued_entries_from_other_requesters(self):
+        """Regression: the churn download stall.
+
+        A requester whose entry sat *queued* (not served) in the IRQ of
+        a peer that went offline used to keep that peer in its
+        ``registered_at`` for the whole offline session.  The download
+        then looked engaged, so ``_replenish_downloads`` never looked
+        up the alternative provider and the request stalled even though
+        a live copy existed.
+        """
+        config = small_config(upload_capacity_kbit=10.0)  # one upload slot
+        ctx = make_ctx(config)
+        provider_a = build_peer(ctx, 50, mechanism="none")
+        provider_b = build_peer(ctx, 51, mechanism="none")
+        stalled = build_peer(ctx, 52, mechanism="none")
+        competitor = build_peer(ctx, 53, mechanism="none")
+        give(ctx, provider_a, 0)
+        give(ctx, provider_a, 1)
+        # The competitor takes A's only upload slot...
+        competitor.start_download(ctx.catalog.object(1))
+        drain(ctx)
+        assert competitor.pending[1].active_sources == 1
+        # ...so the stalled peer's request for object 0 stays queued.
+        download = stalled.start_download(ctx.catalog.object(0))
+        drain(ctx)
+        assert download.active_sources == 0
+        assert provider_a.peer_id in download.registered_at
+        # A second provider appears, then A churns off with the entry
+        # still queued.
+        give(ctx, provider_b, 0)
+        take_peer_offline(provider_a)
+        assert provider_a.peer_id not in download.registered_at
+        assert provider_a.irq.is_empty
+        # The next periodic scan re-looks-up and finds provider B; the
+        # download completes during A's offline period.
+        stalled.scan()
+        drain(ctx, until=ctx.engine.now + 2_000.0)
+        assert download.completed
+        assert 0 in stalled.store
+
+    def test_offline_pauses_periodic_processes(self):
+        """No scan.p*/storage.p* events fire while a peer is offline."""
+        sim = FileSharingSimulation(small_config())
+        ctx = sim.build()
+        peer = ctx.peers[0]
+        assert len(peer.periodic_processes) == 2
+        ctx.engine.run(until=200.0)
+        take_peer_offline(peer)
+        assert all(p.paused for p in peer.periodic_processes)
+        fired_before = [p.fired for p in peer.periodic_processes]
+        ctx.engine.run(until=1_200.0)  # many scan/storage intervals
+        assert [p.fired for p in peer.periodic_processes] == fired_before
+        bring_peer_online(peer)
+        assert all(not p.paused for p in peer.periodic_processes)
+        ctx.engine.run(until=1_600.0)
+        assert peer.periodic_processes[0].fired > fired_before[0]
 
     def test_transitions_idempotent(self):
         ctx = make_ctx()

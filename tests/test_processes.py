@@ -72,6 +72,60 @@ class TestPeriodicProcess:
         with pytest.raises(SimulationError):
             PeriodicProcess(engine, 0.0, lambda: None)
 
+    def test_pause_stops_firing_and_schedules_nothing(self):
+        engine = Engine()
+        process = every(engine, 10.0, lambda: None)
+        engine.run(until=15.0)
+        assert process.fired == 1
+        process.pause()
+        assert process.paused
+        engine.run(until=500.0)
+        # Not merely "the callback early-returns": the event heap is
+        # empty, so a paused process costs zero events.
+        assert process.fired == 1
+        assert engine.events_pending == 0
+
+    def test_resume_restarts_with_fresh_stagger(self):
+        engine = Engine()
+        times = []
+        process = every(engine, 10.0, lambda: times.append(engine.now))
+        engine.run(until=15.0)
+        process.pause()
+        engine.run(until=100.0)
+        process.resume(start_delay=3.0)
+        assert not process.paused
+        engine.run(until=125.0)
+        assert times == [10.0, 103.0, 113.0, 123.0]
+
+    def test_resume_without_delay_uses_interval(self):
+        engine = Engine()
+        times = []
+        process = every(engine, 10.0, lambda: times.append(engine.now))
+        engine.run(until=10.0)
+        process.pause()
+        engine.run(until=50.0)
+        process.resume()
+        engine.run(until=65.0)
+        assert times == [10.0, 60.0]
+
+    def test_pause_resume_idempotent_and_stop_wins(self):
+        engine = Engine()
+        process = every(engine, 10.0, lambda: None)
+        process.pause()
+        process.pause()  # no-op
+        process.resume()
+        process.resume()  # no-op
+        process.stop()
+        process.pause()  # no-op once stopped
+        process.resume()  # must not revive a stopped process
+        engine.run(until=100.0)
+        assert process.fired == 0
+        assert process.stopped and not process.paused
+
+    def test_interval_exposed(self):
+        engine = Engine()
+        assert every(engine, 7.5, lambda: None).interval == 7.5
+
     def test_jitter_applied(self):
         engine = Engine()
         times = []

@@ -57,11 +57,24 @@ class TestPrune:
         pruned = prune(wide, levels=3, budget=budget)
         assert pruned.node_count() <= 4
 
-    def test_prune_copies_rather_than_aliases(self):
+    def test_prune_shares_subtrees_that_fit(self):
+        # Nodes are immutable, so a subtree already within the level
+        # and budget bounds is returned as-is instead of deep-copied.
         tree = node(1, None, leaf(2, 20))
-        pruned = prune(tree, levels=5)
+        assert prune(tree, levels=5) is tree
+        assert prune(tree, levels=5, budget=[100]) is tree
+
+    def test_prune_truncation_builds_fresh_nodes(self):
+        tree = node(1, None, node(2, 20, leaf(3, 30)))
+        pruned = prune(tree, levels=2)
         assert pruned is not tree
-        assert pruned.children[0] is not tree.children[0]
+        assert pruned.to_dict() == {
+            "peer": 1,
+            "object": None,
+            "children": [{"peer": 2, "object": 20, "children": []}],
+        }
+        # The original is untouched by the truncation.
+        assert tree.children[0].children[0].peer_id == 3
 
     @settings(max_examples=30)
     @given(levels=st.integers(min_value=1, max_value=6))

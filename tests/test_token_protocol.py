@@ -151,7 +151,9 @@ class TestValidateRing:
 
                 self.provider = _P()
 
-        b.pending[0].transfers[99] = _FakeExchangeTransfer()
+        # Through attach_transfer so the exchange-source counter backing
+        # has_exchange_transfer stays in sync, as any real transfer does.
+        b.pending[0].attach_transfer(_FakeExchangeTransfer())
         with pytest.raises(TokenValidationFailed) as info:
             validate_ring(ctx, edges)
         assert info.value.reason == REASON_ALREADY_EXCHANGING

@@ -46,24 +46,42 @@ from repro.metrics.records import (
 )
 from repro.metrics.summary import SimulationSummary
 from repro.population import PeerClassSpec
+from repro.scenario import (
+    CapacityChange,
+    DemandShift,
+    FlashCrowd,
+    MechanismRamp,
+    PeerArrival,
+    PeerDeparture,
+    Phase,
+    ScenarioDirector,
+)
 from repro.simulation import FileSharingSimulation, SimulationResult, run_simulation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CapacityChange",
     "CapacityError",
     "ConfigError",
+    "DemandShift",
     "DownloadRecord",
     "ExchangePolicy",
     "FileSharingSimulation",
+    "FlashCrowd",
     "LongestFirstPolicy",
+    "MechanismRamp",
     "MetricsError",
     "NoExchangePolicy",
     "PairwiseOnlyPolicy",
+    "PeerArrival",
     "PeerClassSpec",
+    "PeerDeparture",
+    "Phase",
     "ProtocolError",
     "ReproError",
     "RingError",
+    "ScenarioDirector",
     "SchedulingError",
     "SessionRecord",
     "ShortestFirstPolicy",

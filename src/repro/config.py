@@ -20,6 +20,7 @@ from typing import Any, Dict, Tuple
 
 from repro.errors import ConfigError
 from repro.population import PeerClassSpec
+from repro.scenario import ScenarioEvent
 from repro.units import mb_to_kbit
 
 
@@ -38,6 +39,14 @@ class SimulationConfig:
     #: and interest breadth per class; ``None`` fields inherit the
     #: globals below.
     population: Tuple[PeerClassSpec, ...] = ()
+    #: Declarative scenario timeline (see :mod:`repro.scenario`): timed
+    #: events that mutate the world mid-run — peer arrivals and
+    #: permanent departures, flash-crowd object injection, demand
+    #: shifts, mechanism-adoption ramps, capacity changes, and named
+    #: measurement phases.  Empty means the paper's closed system; an
+    #: empty scenario consumes no RNG and replays pre-scenario runs
+    #: bit-identically.
+    scenario: Tuple[ScenarioEvent, ...] = ()
 
     # ------------------------------------------------------------------ links
     download_capacity_kbit: float = 800.0
@@ -70,6 +79,11 @@ class SimulationConfig:
     #: e.g. every copy was evicted).  Frees the pending slot for a
     #: locatable request, like a user cancelling a dead download.
     abandon_after_lookup_failures: int = 5
+    #: Candidate draws per request before the workload generator gives
+    #: up for this instant (was a hardcoded module constant).
+    #: Arrival-heavy scenarios over sparse catalogs need more attempts
+    #: to find a locatable miss than the closed-world default.
+    max_miss_attempts: int = 200
 
     # -------------------------------------------------------------- mechanism
     exchange_mechanism: str = "2-5-way"
@@ -110,10 +124,12 @@ class SimulationConfig:
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        # Accept lists (e.g. from JSON round-trips) but store a tuple so
+        # Accept lists (e.g. from JSON round-trips) but store tuples so
         # the config stays hashable and its dict form deterministic.
         if not isinstance(self.population, tuple):
             object.__setattr__(self, "population", tuple(self.population))
+        if not isinstance(self.scenario, tuple):
+            object.__setattr__(self, "scenario", tuple(self.scenario))
         self.validate()
 
     # ------------------------------------------------------------------
@@ -204,6 +220,10 @@ class SimulationConfig:
                 "abandon_after_lookup_failures must be >= 1",
             ),
             (
+                self.max_miss_attempts >= 1,
+                f"max_miss_attempts must be >= 1, got {self.max_miss_attempts}",
+            ),
+            (
                 0.0 < self.lookup_coverage <= 1.0,
                 f"lookup_coverage must be in (0,1], got {self.lookup_coverage}",
             ),
@@ -247,6 +267,11 @@ class SimulationConfig:
         from repro.population import resolve_population
 
         resolve_population(self)
+        # Scenario events are validated against the resolved classes and
+        # content model (imported locally for the same layering reason).
+        from repro.scenario import validate_scenario
+
+        validate_scenario(self)
 
     def resolved_population(self):
         """Concrete per-class rows (see :func:`repro.population.resolve_population`)."""

@@ -1,10 +1,13 @@
 """Object and category catalog.
 
-The catalog is the global, immutable universe of content: categories
-ranked 1..C, each holding a random number of objects ranked 1..n_c.
-Peers never create objects during a run (the paper's model is a fixed
-library), so the catalog is built once per simulation from the seeded
-RNG and shared read-only by every peer.
+The catalog is the global universe of content: categories ranked 1..C,
+each holding a random number of objects ranked 1..n_c.  The paper's
+model is a fixed library built once per simulation from the seeded RNG;
+the scenario extension adds exactly one mutation,
+:meth:`Catalog.inject_object`, so flash-crowd timelines can introduce
+new hot content mid-run.  Object ids are append-only and never reused,
+and existing :class:`ContentObject` instances are never replaced, so
+references held by in-flight downloads stay valid across injections.
 """
 
 from __future__ import annotations
@@ -67,6 +70,7 @@ class Catalog:
                 if obj.object_id in self._objects:
                     raise ConfigError(f"duplicate object id {obj.object_id}")
                 self._objects[obj.object_id] = obj
+        self._next_object_id = max(self._objects) + 1
 
     # ------------------------------------------------------------------
     @property
@@ -87,6 +91,48 @@ class Catalog:
     def all_objects(self) -> List[ContentObject]:
         """All objects, ordered by object id (stable for seeded sampling)."""
         return [self._objects[oid] for oid in sorted(self._objects)]
+
+    # ------------------------------------------------------------------
+    def inject_object(
+        self, category_id: int, size_kbit: float, position: int = 0
+    ) -> ContentObject:
+        """Add a new object to a category mid-run (flash-crowd scenarios).
+
+        The object is inserted at ``position`` in the category's rank
+        order (0 = most popular), so within-category popularity
+        re-ranks instantly: request draws are positional, and every
+        workload's next draw over this category sees the new ordering.
+        The ``rank`` fields of the displaced objects are *not* rewritten
+        — they are frozen metadata recording the build-time rank, while
+        position in ``Category.objects`` is what popularity sampling
+        actually uses.
+        """
+        if not 0 <= category_id < len(self.categories):
+            raise ConfigError(
+                f"category {category_id} outside [0, {len(self.categories)})"
+            )
+        category = self.categories[category_id]
+        position = max(0, min(position, category.size))
+        obj = ContentObject(
+            object_id=self._next_object_id,
+            category_id=category_id,
+            rank=position + 1,
+            size_kbit=size_kbit,
+        )
+        self._next_object_id += 1
+        self._objects[obj.object_id] = obj
+        objects = (
+            category.objects[:position] + (obj,) + category.objects[position:]
+        )
+        replacement = Category(
+            category_id=category.category_id, rank=category.rank, objects=objects
+        )
+        self.categories = (
+            self.categories[:category_id]
+            + (replacement,)
+            + self.categories[category_id + 1:]
+        )
+        return obj
 
     # ------------------------------------------------------------------
     @classmethod

@@ -50,6 +50,30 @@ class InterestProfile:
                 return self.category_ids[index]
         return self.category_ids[-1]
 
+    def with_category(
+        self, category_id: int, boost: float = 1.0
+    ) -> "InterestProfile":
+        """A new profile with ``category_id`` at the favourite's weight.
+
+        Flash-crowd attraction: the category enters (or is promoted in)
+        the profile at ``boost`` times the current maximum weight, so
+        the drawn-in peer requests the hot category about as often as
+        its favourite.  The receiver is unchanged — callers swap the
+        returned profile in via
+        :meth:`repro.network.peer.Peer.retarget_interests`.
+        """
+        if boost <= 0:
+            raise ConfigError(f"boost must be positive, got {boost}")
+        target = max(self.weights) * boost
+        ids = list(self.category_ids)
+        weights = list(self.weights)
+        if category_id in self.category_ids:
+            weights[ids.index(category_id)] = target
+        else:
+            ids.append(category_id)
+            weights.append(target)
+        return InterestProfile(ids, weights)
+
     def __contains__(self, category_id: int) -> bool:
         return category_id in self.category_ids
 

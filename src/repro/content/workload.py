@@ -18,10 +18,12 @@ from repro.content.interests import InterestProfile
 from repro.content.popularity import PopularityCache
 from repro.errors import ConfigError
 
-#: Bound on miss-finding attempts.  A peer whose categories are almost
-#: fully cached may legitimately fail to find a miss; the generator then
+#: Default bound on miss-finding attempts (overridable per generator
+#: via ``max_miss_attempts``, wired to ``config.max_miss_attempts`` by
+#: the simulation assembly).  A peer whose categories are almost fully
+#: cached may legitimately fail to find a miss; the generator then
 #: returns None and the caller retries on the next completion/scan.
-_MAX_MISS_ATTEMPTS = 200
+DEFAULT_MAX_MISS_ATTEMPTS = 200
 
 
 class RequestGenerator:
@@ -53,9 +55,14 @@ class RequestGenerator:
         is_known: Callable[[int], bool],
         is_locatable: Optional[Callable[[int], bool]] = None,
         popularity_cache: Optional[PopularityCache] = None,
+        max_miss_attempts: int = DEFAULT_MAX_MISS_ATTEMPTS,
     ) -> None:
         if object_factor < 0:
             raise ConfigError(f"object_factor must be >= 0, got {object_factor}")
+        if max_miss_attempts < 1:
+            raise ConfigError(
+                f"max_miss_attempts must be >= 1, got {max_miss_attempts}"
+            )
         self._catalog = catalog
         self._profile = profile
         self._rand = rand
@@ -63,9 +70,14 @@ class RequestGenerator:
         self._is_known = is_known
         self._is_locatable = is_locatable
         self._cache = popularity_cache or PopularityCache()
+        self._max_miss_attempts = max_miss_attempts
         self.candidates_drawn = 0
         self.hits_skipped = 0
         self.unlocatable_skipped = 0
+
+    def set_profile(self, profile: InterestProfile) -> None:
+        """Swap the interest profile mid-run (scenario demand shifts)."""
+        self._profile = profile
 
     def draw_candidate(self) -> ContentObject:
         """One raw (category, object) draw, hit or miss."""
@@ -80,7 +92,7 @@ class RequestGenerator:
         Returning ``None`` (rather than raising) keeps a fully-saturated
         peer alive: it simply has no feasible request this instant.
         """
-        for _ in range(_MAX_MISS_ATTEMPTS):
+        for _ in range(self._max_miss_attempts):
             candidate = self.draw_candidate()
             if self._is_known(candidate.object_id):
                 self.hits_skipped += 1

@@ -30,7 +30,9 @@ from repro.experiments.presets import (
     CAPACITY_TIERS,
     CATEGORY_GRID,
     adoption_population,
+    flash_crowd_scenario,
     preset,
+    swarm_growth_scenario,
     sweep,
     tiered_population,
 )
@@ -421,6 +423,74 @@ def _tiers_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTa
     return table
 
 
+# ---------------------------------------------------------------------------
+# Scenario timelines — flash crowd and swarm growth (open-system dynamics)
+# ---------------------------------------------------------------------------
+
+SCENARIO_MECHANISMS = ("2-5-way", "none")
+
+
+def _scenario_grid(scale: str, seed: int, scenario_fn) -> CellGrid:
+    grid: CellGrid = {}
+    for mechanism in SCENARIO_MECHANISMS:
+        base = preset(scale, exchange_mechanism=mechanism, seed=seed)
+        grid[mechanism] = base.replace(scenario=scenario_fn(base))
+    return grid
+
+
+def _scenario_assemble(
+    title: str, phases: Sequence[str], summaries: CellSummaries
+) -> SeriesTable:
+    """Per-phase download time and completion counts, one row per phase."""
+    columns: List[str] = []
+    for mechanism in SCENARIO_MECHANISMS:
+        columns.append(f"{mechanism}/time")
+        columns.append(f"{mechanism}/completed")
+    table = SeriesTable(title, "phase_index", columns)
+    for index, phase in enumerate(phases):
+        row: Dict[str, Optional[float]] = {}
+        for mechanism in SCENARIO_MECHANISMS:
+            summary = summaries[mechanism]
+            row[f"{mechanism}/time"] = summary.mean_download_time_min_by_phase.get(
+                phase
+            )
+            row[f"{mechanism}/completed"] = float(
+                summary.completed_downloads_by_phase.get(phase, 0)
+            )
+        table.add_row(float(index), row)
+    return table
+
+
+def _flashcrowd_grid(scale: str, seed: int) -> CellGrid:
+    return _scenario_grid(scale, seed, flash_crowd_scenario)
+
+
+def _flashcrowd_assemble(
+    scale: str, seed: int, summaries: CellSummaries
+) -> SeriesTable:
+    return _scenario_assemble(
+        "Flash crowd: mean download time (min) and completions per phase "
+        "(0=steady, 1=flash, 2=decay)",
+        ("steady", "flash", "decay"),
+        summaries,
+    )
+
+
+def _swarm_growth_grid(scale: str, seed: int) -> CellGrid:
+    return _scenario_grid(scale, seed, swarm_growth_scenario)
+
+
+def _swarm_growth_assemble(
+    scale: str, seed: int, summaries: CellSummaries
+) -> SeriesTable:
+    return _scenario_assemble(
+        "Swarm growth: mean download time (min) and completions per phase "
+        "(0=seed population, 1/2=arrival waves, +50% peers total)",
+        ("seed", "wave1", "wave2"),
+        summaries,
+    )
+
+
 #: Registry used by the orchestrator, the CLI runner and the benchmarks.
 FIGURES: Dict[str, FigureSpec] = {
     spec.figure_id: spec
@@ -447,6 +517,10 @@ FIGURES: Dict[str, FigureSpec] = {
                    _adoption_grid, _adoption_assemble),
         FigureSpec("tiers", "per-class download time across capacity tiers",
                    _tiers_grid, _tiers_assemble),
+        FigureSpec("flashcrowd", "per-phase download time under a flash crowd",
+                   _flashcrowd_grid, _flashcrowd_assemble),
+        FigureSpec("swarm-growth", "per-phase download time as the swarm grows",
+                   _swarm_growth_grid, _swarm_growth_assemble),
     )
 }
 

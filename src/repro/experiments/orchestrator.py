@@ -52,10 +52,12 @@ ProgressFn = Callable[[int, int], None]
 #: Result-cache schema stamp, bumped whenever the simulation's outcome
 #: for an unchanged config fingerprint can change (the population
 #: refactor did: fingerprints now cover ``population`` and summaries
-#: carry per-class breakdowns).  Entries stamped with any other value
-#: are treated as misses, so stale pre-refactor results are never
-#: replayed.
-CACHE_SCHEMA_VERSION = 2
+#: carry per-class breakdowns; the scenario refactor did again:
+#: fingerprints now cover ``scenario``/``max_miss_attempts`` and
+#: summaries carry per-phase breakdowns).  Entries stamped with any
+#: other value are treated as misses, so stale pre-refactor results are
+#: never replayed.
+CACHE_SCHEMA_VERSION = 3
 
 
 def config_fingerprint(config: SimulationConfig) -> str:

@@ -33,6 +33,7 @@ from typing import Dict, Tuple
 from repro.config import SimulationConfig
 from repro.errors import ConfigError
 from repro.population import PeerClassSpec
+from repro.scenario import FlashCrowd, PeerArrival, PeerDeparture, Phase, ScenarioSpec
 
 #: Per-scale overrides applied on top of Table II defaults.
 SCALES: Dict[str, dict] = {
@@ -214,6 +215,62 @@ def tiered_population(
             fraction=freeloader_fraction,
         ),
     )
+
+
+def flash_crowd_scenario(config: SimulationConfig) -> ScenarioSpec:
+    """The ``flashcrowd`` figure's timeline for one base config.
+
+    Three phases over the measurement window: ``steady`` (the paper's
+    closed system), ``flash`` (hot objects enter the catalog, seeded at
+    a handful of sharers, and half the population turns to them — the
+    demand shock), and ``decay`` (a tenth of the population departs for
+    good, the post-crowd cooldown).  Cut points are fractions of the
+    post-warmup window so the same shape works at every scale preset.
+    """
+    window = config.duration - config.warmup
+    t_flash = config.warmup + 0.35 * window
+    t_decay = config.warmup + 0.75 * window
+    return (
+        Phase(0.0, "steady"),
+        Phase(t_flash, "flash"),
+        FlashCrowd(
+            t_flash,
+            count=3,
+            seed_providers=max(2, config.num_peers // 20),
+            attract_fraction=0.5,
+        ),
+        Phase(t_decay, "decay"),
+        PeerDeparture(t_decay, count=max(1, config.num_peers // 10)),
+    )
+
+
+def swarm_growth_scenario(config: SimulationConfig) -> ScenarioSpec:
+    """The ``swarm-growth`` figure's timeline for one base config.
+
+    The network starts at the configured size (phase ``seed``) and
+    grows by ~50% over two arrival waves (phases ``wave1``/``wave2``),
+    each keeping the build-time sharer/freeloader mix — the
+    network-effects regime of Salek et al., where the question is
+    whether the exchange incentive strengthens or dilutes as the swarm
+    grows.  Arrivals address the legacy-derived classes by name, so
+    this scenario applies to any config without an explicit population.
+    """
+    window = config.duration - config.warmup
+    t_wave1 = config.warmup + window / 3.0
+    t_wave2 = config.warmup + 2.0 * window / 3.0
+    wave = max(2, config.num_peers // 4)
+    freeloaders = int(round(wave * config.freeloader_fraction))
+    sharers = wave - freeloaders
+    events = [Phase(0.0, "seed")]
+    for name, t in (("wave1", t_wave1), ("wave2", t_wave2)):
+        events.append(Phase(t, name))
+        if sharers:
+            events.append(PeerArrival(t, count=sharers, class_name="sharer"))
+        if freeloaders:
+            events.append(
+                PeerArrival(t, count=freeloaders, class_name="freeloader")
+            )
+    return tuple(events)
 
 
 def preset(scale: str, **overrides) -> SimulationConfig:

@@ -8,6 +8,7 @@ single run can be re-summarized with different windows.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from typing import Dict, List, Optional
 
@@ -26,16 +27,24 @@ class MetricsCollector:
         self.sessions: List[SessionRecord] = []
         self.downloads: List[DownloadRecord] = []
         self.counters: Counter = Counter()
+        #: Scenario-phase label stamped onto records as they land; set
+        #: by the :class:`~repro.scenario.ScenarioDirector` on phase
+        #: markers ("" = no named phase, the closed-system default).
+        self.current_phase: str = ""
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def record_session(self, record: SessionRecord) -> None:
+        if self.current_phase and not record.phase:
+            record = dataclasses.replace(record, phase=self.current_phase)
         self.sessions.append(record)
         self.counters[f"session.{record.traffic_class.value}"] += 1
         self.counters[f"session.reason.{record.reason.value}"] += 1
 
     def record_download(self, record: DownloadRecord) -> None:
+        if self.current_phase and not record.phase:
+            record = dataclasses.replace(record, phase=self.current_phase)
         self.downloads.append(record)
         key = "download.sharer" if record.peer_is_sharer else "download.freeloader"
         self.counters[key] += 1
@@ -86,6 +95,28 @@ class MetricsCollector:
                 "sharer" if record.peer_is_sharer else "freeloader"
             )
             grouped.setdefault(label, []).append(record.download_time)
+        return grouped
+
+    def download_times_by_phase(self, warmup: float = 0.0) -> Dict[str, List[float]]:
+        """Download times (seconds) grouped by scenario-phase label.
+
+        Records outside any named phase (label ``""``) are skipped — a
+        closed-system run has no phases and yields an empty dict.
+        """
+        grouped: Dict[str, List[float]] = {}
+        for record in self.downloads_after(warmup):
+            if record.phase:
+                grouped.setdefault(record.phase, []).append(record.download_time)
+        return grouped
+
+    def sessions_by_phase(
+        self, warmup: float = 0.0
+    ) -> Dict[str, List[SessionRecord]]:
+        """Sessions grouped by scenario-phase label (unlabeled skipped)."""
+        grouped: Dict[str, List[SessionRecord]] = {}
+        for session in self.sessions_after(warmup):
+            if session.phase:
+                grouped.setdefault(session.phase, []).append(session)
         return grouped
 
     def reason_counts(self) -> Dict[TerminationReason, int]:

@@ -80,6 +80,9 @@ class SessionRecord:
     #: Population-class label of the requester ("" for hand-built
     #: records; real runs always carry the class name).
     requester_class: str = ""
+    #: Scenario-phase label active when the session *ended* ("" outside
+    #: any named phase; stamped by the collector, not by call sites).
+    phase: str = ""
 
     @property
     def waiting_time(self) -> float:
@@ -112,6 +115,9 @@ class DownloadRecord:
     #: Population-class label of the downloading peer ("" for hand-built
     #: records; real runs always carry the class name).
     class_name: str = ""
+    #: Scenario-phase label active at completion ("" outside any named
+    #: phase; stamped by the collector, not by call sites).
+    phase: str = ""
 
     @property
     def download_time(self) -> float:

@@ -56,6 +56,17 @@ class SimulationSummary:
     volume_per_peer_mb_by_class: Dict[str, float] = field(default_factory=dict)
     class_sizes: Dict[str, int] = field(default_factory=dict)
 
+    # Scenario-phase breakdowns, keyed by phase label (see
+    # :mod:`repro.scenario`).  Empty for closed-system runs: only
+    # records completed inside a named phase contribute.
+    mean_download_time_min_by_phase: Dict[str, Optional[float]] = field(
+        default_factory=dict
+    )
+    completed_downloads_by_phase: Dict[str, int] = field(default_factory=dict)
+    exchange_session_fraction_by_phase: Dict[str, Optional[float]] = field(
+        default_factory=dict
+    )
+
     # extras
     counters: Dict[str, int] = field(default_factory=dict)
 
@@ -165,6 +176,24 @@ def summarize(
             kbit_to_mb(kbit_by_peer_class.get(label, 0.0)) / size if size else 0.0
         )
 
+    # Scenario phases: slice completed downloads and session mix by the
+    # phase label active when each record landed.
+    times_by_phase = collector.download_times_by_phase(warmup=warmup)
+    mean_by_phase: Dict[str, Optional[float]] = {}
+    completed_by_phase: Dict[str, int] = {}
+    for label, times in times_by_phase.items():
+        mean_time = _mean(times)
+        mean_by_phase[label] = (
+            seconds_to_minutes(mean_time) if mean_time is not None else None
+        )
+        completed_by_phase[label] = len(times)
+    exchange_fraction_by_phase: Dict[str, Optional[float]] = {}
+    for label, phase_sessions in collector.sessions_by_phase(warmup=warmup).items():
+        exchanges = sum(1 for s in phase_sessions if s.traffic_class.is_exchange)
+        exchange_fraction_by_phase[label] = (
+            exchanges / len(phase_sessions) if phase_sessions else None
+        )
+
     mean_sharer = _mean(sharer_times)
     mean_freeloader = _mean(freeloader_times)
     mean_all = _mean(all_times)
@@ -194,5 +223,8 @@ def summarize(
         completed_downloads_by_class=completed_by_peer_class,
         volume_per_peer_mb_by_class=volume_per_peer_by_class,
         class_sizes=sizes,
+        mean_download_time_min_by_phase=mean_by_phase,
+        completed_downloads_by_phase=completed_by_phase,
+        exchange_session_fraction_by_phase=exchange_fraction_by_phase,
         counters=dict(collector.counters),
     )

@@ -29,7 +29,7 @@ class SlotPool:
 
     @property
     def free(self) -> int:
-        return self.total - self.in_use
+        return max(0, self.total - self.in_use)
 
     @property
     def full(self) -> bool:
@@ -53,6 +53,22 @@ class SlotPool:
         if self.in_use <= 0:
             raise CapacityError("release() on an empty slot pool")
         self.in_use -= 1
+
+    def resize(self, capacity_kbit: float) -> None:
+        """Re-provision the pool mid-run (scenario capacity changes).
+
+        Slots already in use are never revoked: shrinking below
+        ``in_use`` leaves the pool over-subscribed — no new slot is
+        handed out until enough running transfers finish — rather than
+        killing transfers, which matches an access-link re-provision
+        (existing flows drain, new ones queue).
+        """
+        if capacity_kbit < self.slot_kbit:
+            raise CapacityError(
+                f"capacity {capacity_kbit} kbit/s below one slot "
+                f"({self.slot_kbit} kbit/s)"
+            )
+        self.total = int(capacity_kbit // self.slot_kbit)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SlotPool({self.in_use}/{self.total} x {self.slot_kbit} kbit/s)"

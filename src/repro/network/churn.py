@@ -4,14 +4,16 @@ The paper's simulation keeps all 200 peers online; disconnection only
 appears as a *reason* rings break ("some peers may have gone offline,
 or crashed") and as the §V observation that "transient peer
 participation" stresses credit systems.  This extension adds an
-explicit on/off session model so those paths are exercised: going
-offline terminates every transfer the peer touches (reason
-``PEER_OFFLINE``), withdraws its requests and unpublishes its store;
-coming back re-publishes and rejoins the workload.
+explicit on/off session model so those paths are exercised.
+
+The actual teardown/rejoin logic lives on the peer itself —
+:meth:`~repro.network.peer.Peer.disconnect` /
+:meth:`~repro.network.peer.Peer.reconnect` — so churn round-trips and
+the scenario layer's *permanent* departures share one audited path.
 
 Enable via ``SimulationConfig(churn_enabled=True, ...)``; session and
 downtime durations are exponential with the configured means, drawn
-from the peer's own RNG stream so runs stay deterministic.
+from a dedicated RNG stream so runs stay deterministic.
 """
 
 from __future__ import annotations
@@ -20,66 +22,10 @@ import random
 from typing import TYPE_CHECKING, List
 
 from repro.errors import ConfigError
-from repro.metrics.records import TerminationReason
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.context import SimContext
     from repro.network.peer import Peer
-
-
-def take_peer_offline(peer: "Peer") -> None:
-    """Disconnect: kill transfers, withdraw requests, drain the IRQ,
-    unpublish, and park the periodic processes."""
-    if not peer.online:
-        return
-    ctx = peer.ctx
-    # Uploads first: our departure breaks any ring we serve in.  The
-    # PEER_OFFLINE terminations also withdraw the served entries from
-    # our IRQ and from their requesters' registration sets.
-    for transfer in peer.active_uploads():
-        transfer.terminate(TerminationReason.PEER_OFFLINE)
-    # Downloads: both the transfers and the queued registrations.
-    for download in list(peer.pending.values()):
-        for transfer in list(download.transfers.values()):
-            transfer.terminate(TerminationReason.PEER_OFFLINE, requeue=False)
-        for provider_id in list(download.registered_at):
-            ctx.peer(provider_id).irq.remove(peer.peer_id, download.object.object_id)
-        download.registered_at.clear()
-    # Drain the *queued* entries other peers registered with us.  An
-    # entry left behind would keep us in its requester's
-    # ``registered_at`` for the whole offline session, and a download
-    # that looks engaged is never re-looked-up — the requester would
-    # stall on a dead registration even with live alternative
-    # providers in the index.
-    for entry in list(peer.irq.active_entries()):
-        peer.irq.remove(entry.requester_id, entry.object_id)
-        requester = ctx.peer(entry.requester_id)
-        download = requester.pending.get(entry.object_id)
-        if download is not None:
-            download.registered_at.discard(peer.peer_id)
-        requester.schedule_pass()
-    if peer.behavior.shares:
-        for object_id in peer.store.object_ids():
-            ctx.lookup.unregister(peer.peer_id, object_id)
-    peer.online = False
-    peer.suspend_periodic()
-    ctx.metrics.count("churn.offline")
-
-
-def bring_peer_online(peer: "Peer") -> None:
-    """Reconnect: re-publish the store and resume the workload."""
-    if peer.online:
-        return
-    ctx = peer.ctx
-    peer.online = True
-    if peer.behavior.shares:
-        for object_id in peer.store.object_ids():
-            ctx.lookup.register(peer.peer_id, object_id)
-    peer.resume_periodic()
-    ctx.metrics.count("churn.online")
-    # Pending downloads re-register at providers on the next scan; kick
-    # one immediately so short sessions still make progress.
-    peer.scan()
 
 
 class ChurnModel:
@@ -105,6 +51,10 @@ class ChurnModel:
         for peer in peers:
             self._schedule_offline(peer)
 
+    def enroll(self, peer: "Peer") -> None:
+        """Start driving a peer that joined mid-run (scenario arrivals)."""
+        self._schedule_offline(peer)
+
     def _schedule_offline(self, peer: "Peer") -> None:
         delay = self._rand.expovariate(1.0 / self._mean_online)
         self._ctx.engine.schedule(
@@ -118,11 +68,15 @@ class ChurnModel:
         )
 
     def _go_offline(self, peer: "Peer") -> None:
+        if peer.departed:
+            return  # permanently gone: stop driving this peer
         self.transitions += 1
-        take_peer_offline(peer)
+        peer.disconnect()
         self._schedule_online(peer)
 
     def _go_online(self, peer: "Peer") -> None:
+        if peer.departed:
+            return
         self.transitions += 1
-        bring_peer_online(peer)
+        peer.reconnect()
         self._schedule_offline(peer)

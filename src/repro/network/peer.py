@@ -68,6 +68,9 @@ class Peer:
         #: defaults to the behaviour name for hand-built peers.
         self.class_name = class_name if class_name is not None else behavior.name
         self.online = True
+        #: Permanently departed (scenario timelines): the teardown ran
+        #: once and :meth:`reconnect` refuses forever after.
+        self.departed = False
         # Link capacities are per peer: a class spec may give this peer a
         # broadband uplink while its neighbour runs on a modem.  ``None``
         # inherits the global config values.
@@ -169,6 +172,13 @@ class Peer:
         """
         if self.workload is None:
             raise ProtocolError(f"peer {self.peer_id} has no workload attached")
+        # Offline (or departed) peers issue nothing: a staggered
+        # bootstrap can fire after churn or a scenario departure took
+        # the peer down, and a request registered then would sit in
+        # live providers' IRQs with nobody ever withdrawing it.
+        # Reconnecting peers refill via their first scan.
+        if not self.online:
+            return 0
         if self.ctx.now < self._workload_stalled_until:
             return 0
         issued = 0
@@ -276,6 +286,112 @@ class Peer:
         )
         self._snapshot_cache = (self.irq.version, tree)
         return tree
+
+    # ------------------------------------------------------------------
+    # connectivity (the one audited teardown path: churn round-trips and
+    # scenario departures both go through here)
+    # ------------------------------------------------------------------
+    def disconnect(self) -> None:
+        """Go offline: kill transfers, withdraw requests, drain the IRQ,
+        unpublish, and park the periodic processes.  Idempotent."""
+        if not self.online:
+            return
+        ctx = self.ctx
+        # Uploads first: our departure breaks any ring we serve in.  The
+        # PEER_OFFLINE terminations also withdraw the served entries
+        # from our IRQ and from their requesters' registration sets.
+        for transfer in self.active_uploads():
+            transfer.terminate(TerminationReason.PEER_OFFLINE)
+        # Downloads: both the transfers and the queued registrations.
+        for download in list(self.pending.values()):
+            for transfer in list(download.transfers.values()):
+                transfer.terminate(TerminationReason.PEER_OFFLINE, requeue=False)
+            for provider_id in list(download.registered_at):
+                ctx.peer(provider_id).irq.remove(
+                    self.peer_id, download.object.object_id
+                )
+            download.registered_at.clear()
+        # Drain the *queued* entries other peers registered with us.  An
+        # entry left behind would keep us in its requester's
+        # ``registered_at`` for the whole offline session, and a
+        # download that looks engaged is never re-looked-up — the
+        # requester would stall on a dead registration even with live
+        # alternative providers in the index.
+        for entry in list(self.irq.active_entries()):
+            self.irq.remove(entry.requester_id, entry.object_id)
+            requester = ctx.peer(entry.requester_id)
+            download = requester.pending.get(entry.object_id)
+            if download is not None:
+                download.registered_at.discard(self.peer_id)
+            requester.schedule_pass()
+        if self.behavior.shares:
+            for object_id in self.store.object_ids():
+                ctx.lookup.unregister(self.peer_id, object_id)
+        self.online = False
+        self.suspend_periodic()
+        ctx.metrics.count("churn.offline")
+
+    def reconnect(self) -> None:
+        """Come back online: re-publish the store and resume the
+        workload.  A no-op while online — and forever once departed."""
+        if self.online or self.departed:
+            return
+        ctx = self.ctx
+        self.online = True
+        if self.behavior.shares:
+            for object_id in self.store.object_ids():
+                ctx.lookup.register(self.peer_id, object_id)
+        self.resume_periodic()
+        ctx.metrics.count("churn.online")
+        # Pending downloads re-register at providers on the next scan;
+        # kick one immediately so short sessions still make progress.
+        self.scan()
+
+    # ------------------------------------------------------------------
+    # scenario mutations
+    # ------------------------------------------------------------------
+    def retarget_interests(self, profile: "InterestProfile") -> None:
+        """Swap the interest profile (flash crowds, demand shifts).
+
+        Pending downloads are unaffected; only future request draws see
+        the new interests.  The workload back-off is cleared so the new
+        demand takes effect on the next scan rather than after a stale
+        retry window.
+        """
+        self.profile = profile
+        if self.workload is not None:
+            self.workload.set_profile(profile)
+        self._workload_stalled_until = -math.inf
+
+    def set_policy(self, policy: ExchangePolicy) -> None:
+        """Adopt a new exchange mechanism mid-run (adoption ramps).
+
+        Every policy-derived cache is invalidated: the idle-search gate
+        (a different mechanism sees different candidates), the request
+        tree snapshot (tree depth follows ``policy.tree_levels``) and
+        the completed-push marker.  A scheduling pass is kicked so a
+        newly enabled mechanism starts searching immediately.
+        """
+        self.policy = policy
+        self.idle_search_key = None
+        self._snapshot_cache = None
+        self._push_complete_version = None
+        self.schedule_pass()
+
+    def resize_capacity(
+        self,
+        upload_capacity_kbit: Optional[float] = None,
+        download_capacity_kbit: Optional[float] = None,
+    ) -> None:
+        """Re-provision link capacities (scenario capacity changes)."""
+        if upload_capacity_kbit is not None:
+            self.upload_capacity_kbit = upload_capacity_kbit
+            self.upload_pool.resize(upload_capacity_kbit)
+        if download_capacity_kbit is not None:
+            self.download_capacity_kbit = download_capacity_kbit
+            self.download_pool.resize(download_capacity_kbit)
+        # Grown pools can serve queued entries right now.
+        self.schedule_pass()
 
     # ------------------------------------------------------------------
     # periodic processes (attached by the simulation assembly)

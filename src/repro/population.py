@@ -193,6 +193,34 @@ def _resolve_one(spec: PeerClassSpec, count: int, config: "SimulationConfig") ->
     )
 
 
+def resolve_spec(
+    spec: PeerClassSpec, count: int, config: "SimulationConfig"
+) -> ResolvedPeerClass:
+    """Resolve one spec at an explicit count (scenario arrival waves).
+
+    The scenario layer sizes arrival waves per event, so the spec itself
+    carries no count/fraction; everything else inherits exactly as in
+    build-time resolution.
+    """
+    spec.validate()
+    resolved = _resolve_one(spec, count, config)
+    resolved.validate(config.slot_kbit)
+    return resolved
+
+
+def class_by_name(
+    classes: Tuple[ResolvedPeerClass, ...], name: str
+) -> ResolvedPeerClass:
+    """Look up a resolved class by name; unknown names raise ConfigError."""
+    for cls in classes:
+        if cls.name == name:
+            return cls
+    raise ConfigError(
+        f"unknown peer class {name!r}; known classes: "
+        f"{sorted(cls.name for cls in classes)}"
+    )
+
+
 def resolve_population(config: "SimulationConfig") -> Tuple[ResolvedPeerClass, ...]:
     """Concrete per-class rows (exact counts) for one configuration.
 

@@ -1,0 +1,515 @@
+"""Scenario timelines: open-system dynamics on top of a built world.
+
+The paper simulates a *closed* system — every peer is present from t=0,
+the catalog never changes, and one stationary workload runs until the
+clock stops.  Its §V discussion points beyond that world ("transient
+peer participation", demand shifts), and the related work makes the
+open-system questions concrete: Salek et al. ("You Share, I Share")
+study how sharing incentives interact with network effects *as the
+population grows*, and Mishra's mobile-P2P incentive survey centres on
+transient peers that arrive and leave mid-run.  A scenario timeline
+makes those regimes expressible declaratively.
+
+A scenario is a tuple of timed events on
+:attr:`~repro.config.SimulationConfig.scenario`; the
+:class:`ScenarioDirector` schedules them on the engine at build time and
+applies each one when the clock reaches it.  Event types, and the
+motivation each models:
+
+* :class:`Phase` — a named phase marker.  Metrics records completed from
+  this instant on carry the phase label, and
+  :func:`~repro.metrics.summary.summarize` slices per phase, so one run
+  yields before/after comparisons without re-running.
+* :class:`PeerArrival` — ``count`` new peers join as an existing
+  population class (``class_name``) or as an inline
+  :class:`~repro.population.PeerClassSpec` (``spec``), bootstrap
+  interests and initial placement, and start their workloads (the
+  swarm-growth / network-effects regime of Salek et al.).
+* :class:`PeerDeparture` — ``count`` peers leave *permanently*: the
+  churn teardown path runs once and the peer never returns (Mishra's
+  transient participation, as opposed to churn's round-trips).
+* :class:`FlashCrowd` — ``count`` new hot objects enter the catalog at
+  the top popularity rank of one category, ``seed_providers`` sharers
+  receive a copy, and ``attract_fraction`` of the population adds the
+  category to its interests (the demand-shock regime the paper's fixed
+  library cannot express).
+* :class:`DemandShift` — a fraction of peers re-draws its interest
+  profile from the global category popularity (a slow demand migration
+  rather than a shock).
+* :class:`MechanismRamp` — every peer of a class flips to a new
+  exchange mechanism (staged adoption: what happens when the fifo
+  holdouts turn on n-way exchanges at time t).
+* :class:`CapacityChange` — every peer of a class is re-provisioned to
+  new link capacities (an access-network upgrade or degradation).
+
+An **empty scenario is the closed system, bit-for-bit**: no events are
+scheduled, no RNG stream is touched, and a ``scenario=()`` run replays
+the pre-scenario build exactly (the golden fig7 table guards this).
+All scenario randomness draws from the dedicated ``"scenario"`` stream,
+so two runs of the same seed and scenario are identical, and adding a
+scenario never perturbs the draws of any other subsystem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.population import PeerClassSpec
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.config import SimulationConfig
+    from repro.simulation import FileSharingSimulation
+
+
+@dataclass(frozen=True)
+class Phase:
+    """Start a named measurement phase at ``time``.
+
+    Records completed at or after this instant carry ``name`` until the
+    next marker fires.  Events and phases at equal times apply in
+    declaration order, so list the marker *before* the events that open
+    the phase.
+    """
+
+    time: float
+    name: str
+    kind: str = field(default="phase", init=False)
+
+
+@dataclass(frozen=True)
+class PeerArrival:
+    """``count`` new peers join, bootstrap, and start their workloads.
+
+    Exactly one of ``class_name`` (an existing population class, e.g.
+    the derived legacy ``"sharer"``/``"freeloader"``) or ``spec`` (an
+    inline class with ``count``/``fraction`` left ``None``) selects the
+    arrivals' class.
+    """
+
+    time: float
+    count: int
+    class_name: Optional[str] = None
+    spec: Optional[PeerClassSpec] = None
+    kind: str = field(default="arrival", init=False)
+
+
+@dataclass(frozen=True)
+class PeerDeparture:
+    """``count`` peers leave permanently (never to reconnect).
+
+    Departing peers are sampled uniformly from the remaining
+    population, or from one class when ``class_name`` is given.  Fewer
+    than ``count`` remaining candidates is not an error — everyone who
+    can leave does.
+    """
+
+    time: float
+    count: int
+    class_name: Optional[str] = None
+    kind: str = field(default="departure", init=False)
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """``count`` new hot objects enter the catalog and demand spikes.
+
+    The objects are injected at the top popularity rank of
+    ``category_id`` (``None`` = the globally most popular category), so
+    within-category popularity re-ranks; ``seed_providers`` online
+    sharers receive and publish a copy; ``attract_fraction`` of the
+    population adds the category to its interests at its favourite's
+    weight.
+    """
+
+    time: float
+    count: int = 1
+    category_id: Optional[int] = None
+    seed_providers: int = 2
+    attract_fraction: float = 0.0
+    kind: str = field(default="flash_crowd", init=False)
+
+
+@dataclass(frozen=True)
+class DemandShift:
+    """A ``fraction`` of peers re-draws its interest profile."""
+
+    time: float
+    fraction: float
+    kind: str = field(default="demand_shift", init=False)
+
+
+@dataclass(frozen=True)
+class MechanismRamp:
+    """Every peer of ``class_name`` flips to ``exchange_mechanism``.
+
+    Later arrivals of the class join with the new mechanism too.
+    """
+
+    time: float
+    class_name: str
+    exchange_mechanism: str
+    kind: str = field(default="mechanism_ramp", init=False)
+
+
+@dataclass(frozen=True)
+class CapacityChange:
+    """Every peer of ``class_name`` is re-provisioned to new capacities.
+
+    ``None`` leaves a direction unchanged.  Shrinking below the slots
+    currently in use never kills transfers — the pool is simply
+    over-subscribed until enough of them finish.
+    """
+
+    time: float
+    class_name: str
+    upload_capacity_kbit: Optional[float] = None
+    download_capacity_kbit: Optional[float] = None
+    kind: str = field(default="capacity_change", init=False)
+
+
+#: Every concrete scenario event type (isinstance checks, docs, tests).
+EVENT_TYPES = (
+    Phase,
+    PeerArrival,
+    PeerDeparture,
+    FlashCrowd,
+    DemandShift,
+    MechanismRamp,
+    CapacityChange,
+)
+
+ScenarioEvent = Union[
+    Phase,
+    PeerArrival,
+    PeerDeparture,
+    FlashCrowd,
+    DemandShift,
+    MechanismRamp,
+    CapacityChange,
+]
+
+ScenarioSpec = Tuple[ScenarioEvent, ...]
+
+
+def scenario_class_names(config: "SimulationConfig") -> set:
+    """Every class name addressable at runtime under ``config``.
+
+    Population classes (explicit or legacy-derived) plus the names of
+    inline arrival specs — a ramp may target a class that only exists
+    after its first arrival wave.
+    """
+    names = {cls.name for cls in config.resolved_population()}
+    for event in config.scenario:
+        if isinstance(event, PeerArrival) and event.spec is not None:
+            names.add(event.spec.name)
+    return names
+
+
+def ordered_events(events) -> list:
+    """Events in firing order: by time, declaration order breaking ties.
+
+    The single definition of the timeline's order — validation's
+    arrival-before-spec-wave check and the director's scheduling both
+    use it, so they can never disagree on equal-time tiebreaks.
+    Returns ``(declaration_index, event)`` pairs.
+    """
+    return sorted(enumerate(events), key=lambda pair: (pair[1].time, pair[0]))
+
+
+def validate_scenario(config: "SimulationConfig") -> None:
+    """Eagerly validate ``config.scenario``; raises :class:`ConfigError`."""
+    events = config.scenario
+    if not events:
+        return
+    known_names = scenario_class_names(config)
+
+    def check_class(event: ScenarioEvent, name: Optional[str]) -> None:
+        if name is not None and name not in known_names:
+            raise ConfigError(
+                f"scenario {event.kind} at t={event.time:g} targets unknown "
+                f"peer class {name!r}; known classes: {sorted(known_names)}"
+            )
+
+    for event in events:
+        if not isinstance(event, EVENT_TYPES):
+            raise ConfigError(
+                f"unknown scenario event {event!r}; expected one of "
+                f"{sorted(t.__name__ for t in EVENT_TYPES)}"
+            )
+        if not (isinstance(event.time, (int, float)) and math.isfinite(event.time)):
+            raise ConfigError(f"scenario event time must be finite, got {event.time!r}")
+        if event.time < 0:
+            raise ConfigError(
+                f"scenario {event.kind} time must be >= 0, got {event.time}"
+            )
+        if isinstance(event, Phase):
+            if not event.name:
+                raise ConfigError("scenario phase name must be non-empty")
+        elif isinstance(event, PeerArrival):
+            if event.count < 1:
+                raise ConfigError(
+                    f"arrival count must be >= 1, got {event.count}"
+                )
+            if (event.class_name is None) == (event.spec is None):
+                raise ConfigError(
+                    "arrival needs exactly one of class_name or spec"
+                )
+            check_class(event, event.class_name)
+            if event.spec is not None:
+                if event.spec.count is not None or event.spec.fraction is not None:
+                    raise ConfigError(
+                        f"arrival spec {event.spec.name!r} must leave "
+                        "count/fraction unset (the event's count sizes the wave)"
+                    )
+                event.spec.validate()
+        elif isinstance(event, PeerDeparture):
+            if event.count < 1:
+                raise ConfigError(
+                    f"departure count must be >= 1, got {event.count}"
+                )
+            check_class(event, event.class_name)
+        elif isinstance(event, FlashCrowd):
+            if event.count < 1:
+                raise ConfigError(
+                    f"flash crowd object count must be >= 1, got {event.count}"
+                )
+            if event.seed_providers < 1:
+                raise ConfigError(
+                    "flash crowd needs seed_providers >= 1 "
+                    "(an unseeded object is unlocatable forever)"
+                )
+            if not 0.0 <= event.attract_fraction <= 1.0:
+                raise ConfigError(
+                    f"attract_fraction must be in [0,1], got {event.attract_fraction}"
+                )
+            if event.category_id is not None and not (
+                0 <= event.category_id < config.num_categories
+            ):
+                raise ConfigError(
+                    f"flash crowd category_id {event.category_id} outside "
+                    f"[0, {config.num_categories})"
+                )
+        elif isinstance(event, DemandShift):
+            if not 0.0 < event.fraction <= 1.0:
+                raise ConfigError(
+                    f"demand shift fraction must be in (0,1], got {event.fraction}"
+                )
+        elif isinstance(event, MechanismRamp):
+            check_class(event, event.class_name)
+            # Locally imported: policies sits below config in the import
+            # graph and this module is imported by config.
+            from repro.core.policies import parse_mechanism
+
+            parse_mechanism(event.exchange_mechanism)
+        elif isinstance(event, CapacityChange):
+            check_class(event, event.class_name)
+            if (
+                event.upload_capacity_kbit is None
+                and event.download_capacity_kbit is None
+            ):
+                raise ConfigError(
+                    f"capacity change for {event.class_name!r} changes nothing"
+                )
+            for value in (event.upload_capacity_kbit, event.download_capacity_kbit):
+                if value is not None and value < config.slot_kbit:
+                    raise ConfigError(
+                        f"capacity change for {event.class_name!r} below one "
+                        f"slot ({value} < {config.slot_kbit})"
+                    )
+
+    # A *named* arrival needs a concrete class shape at fire time, so
+    # its class must be a population class or a spec class whose
+    # defining wave fires earlier (ramps/capacity changes/departures may
+    # target future classes — they apply to zero peers and park their
+    # overrides).  Walk events in the director's firing order.
+    population_names = {cls.name for cls in config.resolved_population()}
+    defined = set(population_names)
+    for _, event in ordered_events(events):
+        if not isinstance(event, PeerArrival):
+            continue
+        if event.class_name is not None and event.class_name not in defined:
+            raise ConfigError(
+                f"arrival at t={event.time:g} references class "
+                f"{event.class_name!r} before any spec wave defined it"
+            )
+        if event.spec is not None:
+            defined.add(event.spec.name)
+
+
+class ScenarioDirector:
+    """Schedules and applies one config's scenario timeline.
+
+    Constructed by :meth:`FileSharingSimulation.build` when the scenario
+    is non-empty.  Every event is scheduled on the engine up front (in
+    stable time order, so equal-time events apply in declaration order)
+    and dispatched to the simulation's world-mutation primitives
+    (:meth:`~repro.simulation.FileSharingSimulation.spawn_peer` /
+    :meth:`~repro.simulation.FileSharingSimulation.retire_peer`) or to
+    the content/population layers when it fires.
+    """
+
+    def __init__(self, sim: "FileSharingSimulation") -> None:
+        self.sim = sim
+        self.ctx = sim.ctx
+        self.events_applied = 0
+        self.peers_spawned = 0
+        self.peers_retired = 0
+        self._rand = self.ctx.rng.stream("scenario")
+        for index, event in ordered_events(sim.config.scenario):
+            # Event times are absolute timeline timestamps, so use the
+            # absolute scheduling entry point: a director constructed
+            # after the clock advanced past an event fails loudly
+            # instead of silently shifting the timeline.
+            self.ctx.engine.schedule_at(
+                event.time,
+                lambda e=event: self._fire(e),
+                name=f"scenario.{event.kind}.{index}",
+            )
+
+    # ------------------------------------------------------------------
+    def _fire(self, event: ScenarioEvent) -> None:
+        self.events_applied += 1
+        self.ctx.metrics.count(f"scenario.{event.kind}")
+        if isinstance(event, Phase):
+            self.ctx.metrics.current_phase = event.name
+        elif isinstance(event, PeerArrival):
+            self._apply_arrival(event)
+        elif isinstance(event, PeerDeparture):
+            self._apply_departure(event)
+        elif isinstance(event, FlashCrowd):
+            self._apply_flash_crowd(event)
+        elif isinstance(event, DemandShift):
+            self._apply_demand_shift(event)
+        elif isinstance(event, MechanismRamp):
+            self._apply_mechanism_ramp(event)
+        elif isinstance(event, CapacityChange):
+            self._apply_capacity_change(event)
+        else:  # pragma: no cover - validate_scenario rejects these
+            raise ConfigError(f"unknown scenario event {event!r}")
+
+    # ------------------------------------------------------------------
+    def _apply_arrival(self, event: PeerArrival) -> None:
+        resolved = self.sim.arrival_class(event.class_name, event.spec, event.count)
+        for _ in range(event.count):
+            self.sim.spawn_peer(resolved)
+        self.peers_spawned += event.count
+
+    def _alive_peer_ids(self, class_name: Optional[str] = None) -> list:
+        return sorted(
+            peer_id
+            for peer_id, peer in self.ctx.peers.items()
+            if not peer.departed
+            and (class_name is None or peer.class_name == class_name)
+        )
+
+    def _apply_departure(self, event: PeerDeparture) -> None:
+        candidates = self._alive_peer_ids(event.class_name)
+        chosen = self._rand.sample(candidates, min(event.count, len(candidates)))
+        for peer_id in chosen:
+            self.sim.retire_peer(self.ctx.peers[peer_id])
+        self.peers_retired += len(chosen)
+
+    def _apply_flash_crowd(self, event: FlashCrowd) -> None:
+        ctx = self.ctx
+        # Category ids are 0-based and ranked by id (rank = id + 1), so
+        # the globally hottest category is id 0.
+        category_id = 0 if event.category_id is None else event.category_id
+        new_objects = [
+            ctx.catalog.inject_object(
+                category_id, size_kbit=self.sim.config.object_size_kbit
+            )
+            for _ in range(event.count)
+        ]
+        # Seed copies: the crowd needs at least one provider to find.
+        # Prefer online sharers; under heavy churn every sharer may be
+        # offline at fire time, in which case offline (non-departed)
+        # ones are seeded instead — their copy publishes on reconnect,
+        # so the hot objects become locatable rather than staying
+        # orphaned forever.
+        sharers = sorted(
+            peer_id
+            for peer_id, peer in ctx.peers.items()
+            if peer.behavior.shares and peer.online and not peer.departed
+        )
+        if not sharers:
+            sharers = sorted(
+                peer_id
+                for peer_id, peer in ctx.peers.items()
+                if peer.behavior.shares and not peer.departed
+            )
+            if sharers:
+                ctx.metrics.count("scenario.flash_seeded_offline")
+            else:
+                ctx.metrics.count("scenario.flash_unseeded")
+        seeds = self._rand.sample(sharers, min(event.seed_providers, len(sharers)))
+        for peer_id in seeds:
+            peer = ctx.peers[peer_id]
+            for obj in new_objects:
+                if peer.store.add_if_absent(obj.object_id):
+                    # Pinned: the seeds model the release's origin
+                    # hosts, and random overflow eviction must not make
+                    # the hot object unlocatable before the crowd ever
+                    # downloads a copy (crowd-made copies evict freely).
+                    peer.store.pin(obj.object_id)
+                    if peer.shares:
+                        ctx.lookup.register(peer_id, obj.object_id)
+        # Demand spike: a slice of the population turns to the category.
+        if event.attract_fraction > 0.0:
+            alive = self._alive_peer_ids()
+            count = int(round(len(alive) * event.attract_fraction))
+            for peer_id in self._rand.sample(alive, count):
+                peer = ctx.peers[peer_id]
+                peer.retarget_interests(peer.profile.with_category(category_id))
+        ctx.metrics.count("scenario.flash_objects", len(new_objects))
+
+    def _apply_demand_shift(self, event: DemandShift) -> None:
+        from repro.content.interests import build_interest_profile
+
+        alive = self._alive_peer_ids()
+        count = int(round(len(alive) * event.fraction))
+        for peer_id in self._rand.sample(alive, count):
+            peer = self.ctx.peers[peer_id]
+            peer_class = self.sim.class_by_name(peer.class_name)
+            categories = self._rand.randint(
+                peer_class.categories_per_peer_min, peer_class.categories_per_peer_max
+            )
+            profile = build_interest_profile(
+                self.ctx.catalog,
+                self.sim.category_popularity,
+                self._rand,
+                categories,
+            )
+            peer.retarget_interests(profile)
+
+    def _apply_mechanism_ramp(self, event: MechanismRamp) -> None:
+        # The simulation's policy cache keeps one instance per
+        # mechanism string, shared by build-time peers, ramped peers
+        # and later arrivals alike.
+        policy = self.sim.policy_for(event.exchange_mechanism)
+        for peer_id in self._alive_peer_ids(event.class_name):
+            self.ctx.peers[peer_id].set_policy(policy)
+        # Later arrivals of the class adopt the new mechanism too.
+        self.sim.note_class_override(
+            event.class_name, exchange_mechanism=event.exchange_mechanism
+        )
+
+    def _apply_capacity_change(self, event: CapacityChange) -> None:
+        for peer_id in self._alive_peer_ids(event.class_name):
+            self.ctx.peers[peer_id].resize_capacity(
+                upload_capacity_kbit=event.upload_capacity_kbit,
+                download_capacity_kbit=event.download_capacity_kbit,
+            )
+        # Later arrivals of the class are provisioned at the new
+        # capacities too (same contract as mechanism ramps).
+        overrides = {
+            key: value
+            for key, value in (
+                ("upload_capacity_kbit", event.upload_capacity_kbit),
+                ("download_capacity_kbit", event.download_capacity_kbit),
+            )
+            if value is not None
+        }
+        self.sim.note_class_override(event.class_name, **overrides)

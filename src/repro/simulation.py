@@ -6,6 +6,16 @@ catalog, lookup oracle, peers with interests, stores, initial placement,
 workloads and periodic processes — runs the event loop, and reduces the
 metrics to a :class:`~repro.metrics.summary.SimulationSummary`.
 
+The world is assembled from two reusable mutation primitives,
+:meth:`FileSharingSimulation.spawn_peer` and
+:meth:`FileSharingSimulation.retire_peer`: :meth:`build` spawns the
+initial population with them, and a non-empty
+:attr:`~repro.config.SimulationConfig.scenario` drives the same
+primitives mid-run through a :class:`~repro.scenario.ScenarioDirector`
+(peer arrivals and permanent departures, flash crowds, demand shifts,
+mechanism ramps, capacity changes).  With an empty scenario the
+lifecycle is exactly the classic build-once/run-once closed system.
+
 Typical use::
 
     from repro import FileSharingSimulation, SimulationConfig
@@ -17,9 +27,10 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.config import SimulationConfig
 from repro.content.catalog import Catalog
@@ -29,14 +40,20 @@ from repro.content.popularity import PopularityCache, RankPopularity
 from repro.content.storage import ObjectStore
 from repro.content.workload import RequestGenerator
 from repro.context import SimContext
-from repro.core.policies import parse_mechanism
+from repro.core.policies import ExchangePolicy, parse_mechanism
 from repro.errors import SimulationError
 from repro.core.disciplines import make_discipline
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.summary import SimulationSummary, summarize
 from repro.network.lookup import LookupService
 from repro.network.peer import Peer
-from repro.population import assign_peer_classes, class_sizes
+from repro.population import (
+    ResolvedPeerClass,
+    assign_peer_classes,
+    class_by_name,
+    class_sizes,
+)
+from repro.scenario import ScenarioDirector
 from repro.sim.processes import PeriodicProcess
 
 
@@ -66,9 +83,95 @@ class FileSharingSimulation:
         self.ctx = SimContext(config)
         self.population = config.resolved_population()
         self.churn = None  # set by build() when churn is enabled
+        self.scenario = None  # set by build() when the scenario is non-empty
         self._built = False
         self._ran = False
         self._processes: List[PeriodicProcess] = []
+        # Live population accounting, mutated by spawn_peer/retire_peer.
+        # Seeded from the resolved population so that with an empty
+        # scenario the summary inputs are exactly the build-time sizes.
+        self._classes_by_name: Dict[str, ResolvedPeerClass] = {
+            cls.name: cls for cls in self.population
+        }
+        self._class_sizes: Dict[str, int] = class_sizes(self.population)
+        self._num_sharers = sum(
+            cls.count for cls in self.population if cls.behavior.shares
+        )
+        self._num_freeloaders = config.num_peers - self._num_sharers
+        self._next_peer_id = config.num_peers
+        self._policies: Dict[str, ExchangePolicy] = {}
+        # Scenario overrides (mechanism ramps, capacity changes) aimed
+        # at classes that do not exist yet — an inline arrival spec
+        # whose first wave lands after the event; applied when the
+        # class is first resolved.
+        self._pending_class_overrides: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # runtime class registry (scenario layer)
+    # ------------------------------------------------------------------
+    @property
+    def category_popularity(self) -> RankPopularity:
+        """The global category rank distribution (set by :meth:`build`)."""
+        return self._category_popularity
+
+    def class_by_name(self, name: str) -> ResolvedPeerClass:
+        """A runtime-addressable peer class: population or arrival spec."""
+        return class_by_name(tuple(self._classes_by_name.values()), name)
+
+    def note_class_override(self, name: str, **overrides: object) -> None:
+        """A scenario event re-provisioned a class; later arrivals follow.
+
+        A ramp or capacity change may legally target an arrival-spec
+        class whose first wave has not landed yet — the overrides are
+        parked and applied when :meth:`arrival_class` first resolves
+        that class.
+        """
+        cls = self._classes_by_name.get(name)
+        if cls is not None:
+            self._classes_by_name[name] = dataclasses.replace(cls, **overrides)
+        else:
+            self._pending_class_overrides.setdefault(name, {}).update(overrides)
+
+    def arrival_class(
+        self, class_name: Optional[str], spec, count: int
+    ) -> ResolvedPeerClass:
+        """Resolve one arrival wave's class at the event's count.
+
+        Named arrivals address the live registry (so a ramped or
+        re-provisioned class arrives in its current shape).  Inline-spec
+        arrivals also prefer the registry once the name is known — the
+        first wave registers it — and apply any overrides that fired
+        before the first wave landed.
+        """
+        from repro.population import resolve_spec
+
+        known = self._classes_by_name.get(
+            class_name if class_name is not None else spec.name
+        )
+        if known is not None:
+            resolved = dataclasses.replace(known, count=count)
+        elif spec is None:
+            # validate_scenario orders named arrivals after the spec
+            # waves that define their class, so this is unreachable
+            # from a validated config — guard it with a clear error
+            # rather than an AttributeError deep in resolution.
+            raise SimulationError(
+                f"arrival references class {class_name!r} before any "
+                "spec wave defined it"
+            )
+        else:
+            resolved = resolve_spec(spec, count, self.config)
+        pending = self._pending_class_overrides.pop(resolved.name, None)
+        if pending:
+            resolved = dataclasses.replace(resolved, **pending)
+        return resolved
+
+    def policy_for(self, mechanism: str) -> ExchangePolicy:
+        policy = self._policies.get(mechanism)
+        if policy is None:
+            policy = parse_mechanism(mechanism)
+            self._policies[mechanism] = policy
+        return policy
 
     # ------------------------------------------------------------------
     def build(self) -> SimContext:
@@ -89,80 +192,31 @@ class FileSharingSimulation:
         )
         ctx.lookup = LookupService(coverage=config.lookup_coverage)
 
-        category_popularity = RankPopularity(
+        self._category_popularity = RankPopularity(
             config.num_categories, config.category_factor
         )
-        placement_cache = PopularityCache()
-        workload_cache = PopularityCache()
+        self._placement_cache = PopularityCache()
+        self._workload_cache = PopularityCache()
 
         class_of = assign_peer_classes(self.population, config.num_peers, rng)
-        policies = {
-            cls.name: parse_mechanism(cls.exchange_mechanism)
-            for cls in self.population
-        }
-        interest_rand = rng.stream("interests")
-        placement_rand = rng.stream("placement")
+        self._interest_rand = rng.stream("interests")
+        self._placement_rand = rng.stream("placement")
+        self._stagger = rng.stream("stagger")
+        self._bootstrap_stagger = rng.stream("bootstrap")
 
+        # Three passes (create, start processes, bootstrap) in exactly
+        # the pre-scenario order: each named RNG stream and the engine's
+        # event sequence numbers see the same consumption sequence, so
+        # empty-scenario runs stay bit-identical across the refactor.
         for peer_id in range(config.num_peers):
-            peer_class = class_of[peer_id]
-            categories = rng.uniform_int(
-                peer_class.categories_per_peer_min,
-                peer_class.categories_per_peer_max,
-                stream="peer-categories",
-            )
-            profile = build_interest_profile(
-                ctx.catalog, category_popularity, interest_rand, categories
-            )
-            capacity = rng.uniform_int(
-                peer_class.storage_min_objects,
-                peer_class.storage_max_objects,
-                stream="peer-storage",
-            )
-            store = ObjectStore(capacity)
-            behavior = peer_class.behavior
-            peer = Peer(
-                ctx,
-                peer_id,
-                behavior,
-                policies[peer_class.name],
-                profile,
-                store,
-                upload_capacity_kbit=peer_class.upload_capacity_kbit,
-                download_capacity_kbit=peer_class.download_capacity_kbit,
-                discipline=make_discipline(
-                    peer_class.service_discipline,
-                    peer_id,
-                    shares=behavior.shares,
-                    fake_participation=config.freeloaders_fake_participation,
-                ),
-                class_name=peer_class.name,
-            )
-            placed = place_objects_for_peer(
-                ctx.catalog,
-                profile,
-                store,
-                placement_rand,
-                config.object_factor,
-                placement_cache,
-                fill_fraction=config.initial_fill_fraction,
-            )
-            if behavior.shares:
-                for object_id in placed:
-                    ctx.lookup.register(peer_id, object_id)
-            workload = RequestGenerator(
-                ctx.catalog,
-                profile,
-                rng.stream(f"workload{peer_id}"),
-                config.object_factor,
-                is_known=self._make_is_known(peer),
-                is_locatable=self._make_is_locatable(ctx),
-                popularity_cache=workload_cache,
-            )
-            peer.attach_workload(workload)
-            ctx.peers[peer_id] = peer
+            self._create_peer(peer_id, class_of[peer_id])
+        for peer in ctx.peers.values():
+            self._start_peer_processes(peer)
+        window = config.bootstrap_window
+        for peer in ctx.peers.values():
+            delay = self._bootstrap_stagger.random() * window if window > 0 else 0.0
+            self._schedule_bootstrap(peer, delay)
 
-        self._start_processes()
-        self._bootstrap()
         if config.churn_enabled:
             from repro.network.churn import ChurnModel
 
@@ -173,7 +227,164 @@ class FileSharingSimulation:
                 mean_offline=config.churn_mean_offline,
                 rand=rng.stream("churn"),
             )
+        # The director schedules every timeline event up front.  An
+        # empty scenario constructs nothing and consumes nothing.
+        if config.scenario:
+            self.scenario = ScenarioDirector(self)
         return ctx
+
+    # ------------------------------------------------------------------
+    # world-mutation primitives (build-time loop and scenario runtime)
+    # ------------------------------------------------------------------
+    def _create_peer(self, peer_id: int, peer_class: ResolvedPeerClass) -> Peer:
+        """Wire one peer into the world: interests, store, placement,
+        lookup registration and workload (no processes yet)."""
+        config = self.config
+        ctx = self.ctx
+        rng = ctx.rng
+        categories = rng.uniform_int(
+            peer_class.categories_per_peer_min,
+            peer_class.categories_per_peer_max,
+            stream="peer-categories",
+        )
+        profile = build_interest_profile(
+            ctx.catalog, self._category_popularity, self._interest_rand, categories
+        )
+        capacity = rng.uniform_int(
+            peer_class.storage_min_objects,
+            peer_class.storage_max_objects,
+            stream="peer-storage",
+        )
+        store = ObjectStore(capacity)
+        behavior = peer_class.behavior
+        peer = Peer(
+            ctx,
+            peer_id,
+            behavior,
+            self.policy_for(peer_class.exchange_mechanism),
+            profile,
+            store,
+            upload_capacity_kbit=peer_class.upload_capacity_kbit,
+            download_capacity_kbit=peer_class.download_capacity_kbit,
+            discipline=make_discipline(
+                peer_class.service_discipline,
+                peer_id,
+                shares=behavior.shares,
+                fake_participation=config.freeloaders_fake_participation,
+            ),
+            class_name=peer_class.name,
+        )
+        placed = place_objects_for_peer(
+            ctx.catalog,
+            profile,
+            store,
+            self._placement_rand,
+            config.object_factor,
+            self._placement_cache,
+            fill_fraction=config.initial_fill_fraction,
+        )
+        if behavior.shares:
+            for object_id in placed:
+                ctx.lookup.register(peer_id, object_id)
+        workload = RequestGenerator(
+            ctx.catalog,
+            profile,
+            rng.stream(f"workload{peer_id}"),
+            config.object_factor,
+            is_known=self._make_is_known(peer),
+            is_locatable=self._make_is_locatable(ctx),
+            popularity_cache=self._workload_cache,
+            max_miss_attempts=config.max_miss_attempts,
+        )
+        peer.attach_workload(workload)
+        ctx.peers[peer_id] = peer
+        return peer
+
+    def _start_peer_processes(self, peer: Peer) -> None:
+        """Attach one peer's periodic scan/storage loops (staggered)."""
+        config = self.config
+        engine = self.ctx.engine
+        # Attached to the peer as well so churn can pause the loops
+        # while the peer is offline (an offline peer's scan/storage
+        # ticks are pure event-heap churn).
+        scan = PeriodicProcess(
+            engine,
+            config.scan_interval,
+            peer.scan,
+            name=f"scan.p{peer.peer_id}",
+            start_delay=self._stagger.random() * config.scan_interval,
+        )
+        storage = PeriodicProcess(
+            engine,
+            config.storage_check_interval,
+            peer.storage_check,
+            name=f"storage.p{peer.peer_id}",
+            start_delay=self._stagger.random() * config.storage_check_interval,
+        )
+        peer.attach_periodic(scan)
+        peer.attach_periodic(storage)
+        self._processes.extend((scan, storage))
+
+    def _schedule_bootstrap(self, peer: Peer, delay: float) -> None:
+        """Issue the peer's initial request burst after ``delay``."""
+        self.ctx.engine.schedule(
+            delay, peer.fill_pending, name=f"bootstrap.p{peer.peer_id}"
+        )
+
+    def spawn_peer(self, peer_class: ResolvedPeerClass) -> Peer:
+        """A new peer joins the running world (scenario arrivals).
+
+        Allocates the next peer id, wires the peer in exactly as the
+        build loop does (interests, placement, workload — drawing from
+        the same named RNG streams, continued), starts its periodic
+        processes, and staggers its first request burst over the
+        bootstrap window from *now*.
+        """
+        peer_id = self._next_peer_id
+        self._next_peer_id += 1
+        self._classes_by_name.setdefault(peer_class.name, peer_class)
+        peer = self._create_peer(peer_id, peer_class)
+        self._start_peer_processes(peer)
+        window = self.config.bootstrap_window
+        delay = self._bootstrap_stagger.random() * window if window > 0 else 0.0
+        self._schedule_bootstrap(peer, delay)
+        self._class_sizes[peer_class.name] = (
+            self._class_sizes.get(peer_class.name, 0) + 1
+        )
+        if peer.behavior.shares:
+            self._num_sharers += 1
+        else:
+            self._num_freeloaders += 1
+        if self.churn is not None:
+            self.churn.enroll(peer)
+        self.ctx.metrics.count("scenario.peer_joined")
+        return peer
+
+    def retire_peer(self, peer: Peer) -> None:
+        """A peer leaves the running world permanently (departures).
+
+        Runs the same audited teardown churn uses
+        (:meth:`~repro.network.peer.Peer.disconnect`), then makes the
+        departure irreversible: pending downloads are dropped, the
+        periodic processes are stopped outright, and ``peer.departed``
+        blocks any later reconnect (churn's or anyone else's).  The
+        peer stays in the registry so ids remain resolvable.
+        """
+        if peer.departed:
+            return
+        peer.disconnect()  # no-op when churn already took it offline
+        peer.departed = True
+        peer.pending.clear()
+        for process in peer.periodic_processes:
+            process.stop()
+        self._class_sizes[peer.class_name] = max(
+            0, self._class_sizes.get(peer.class_name, 0) - 1
+        )
+        if peer.behavior.shares:
+            self._num_sharers -= 1
+        else:
+            self._num_freeloaders -= 1
+        self.ctx.metrics.count("scenario.peer_left")
 
     @staticmethod
     def _make_is_known(peer: Peer):
@@ -189,42 +400,6 @@ class FileSharingSimulation:
 
         return is_locatable
 
-    def _start_processes(self) -> None:
-        config = self.config
-        engine = self.ctx.engine
-        stagger = self.ctx.rng.stream("stagger")
-        for peer in self.ctx.peers.values():
-            # Attached to the peer as well so churn can pause the loops
-            # while the peer is offline (an offline peer's scan/storage
-            # ticks are pure event-heap churn).
-            scan = PeriodicProcess(
-                engine,
-                config.scan_interval,
-                peer.scan,
-                name=f"scan.p{peer.peer_id}",
-                start_delay=stagger.random() * config.scan_interval,
-            )
-            storage = PeriodicProcess(
-                engine,
-                config.storage_check_interval,
-                peer.storage_check,
-                name=f"storage.p{peer.peer_id}",
-                start_delay=stagger.random() * config.storage_check_interval,
-            )
-            peer.attach_periodic(scan)
-            peer.attach_periodic(storage)
-            self._processes.extend((scan, storage))
-
-    def _bootstrap(self) -> None:
-        """Stagger initial request bursts over the bootstrap window."""
-        stagger = self.ctx.rng.stream("bootstrap")
-        window = self.config.bootstrap_window
-        for peer in self.ctx.peers.values():
-            delay = stagger.random() * window if window > 0 else 0.0
-            self.ctx.engine.schedule(
-                delay, peer.fill_pending, name=f"bootstrap.p{peer.peer_id}"
-            )
-
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Build (if needed), run to ``config.duration``, summarize."""
@@ -238,16 +413,17 @@ class FileSharingSimulation:
         for process in self._processes:
             process.stop()
         wall = time.perf_counter() - started
-        # Class sizes come from the resolved population, not the legacy
-        # freeloader_fraction properties — under an explicit population
-        # the latter say nothing about the actual split.
-        num_sharers = sum(c.count for c in self.population if c.behavior.shares)
+        # Class sizes come from the live accounting, not the legacy
+        # freeloader_fraction properties: scenario arrivals/departures
+        # move them mid-run, and under an explicit population the
+        # legacy properties say nothing about the actual split.  With
+        # an empty scenario these are exactly the build-time values.
         summary = summarize(
             self.ctx.metrics,
             warmup=self.config.warmup,
-            num_sharers=num_sharers,
-            num_freeloaders=self.config.num_peers - num_sharers,
-            class_sizes=class_sizes(self.population),
+            num_sharers=self._num_sharers,
+            num_freeloaders=self._num_freeloaders,
+            class_sizes=self._class_sizes,
         )
         return SimulationResult(
             config=self.config,

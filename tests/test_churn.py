@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.metrics.records import TerminationReason
-from repro.network.churn import bring_peer_online, take_peer_offline
 from repro.simulation import FileSharingSimulation, run_simulation
 
 from tests.helpers import build_peer, drain, give, make_ctx, small_config
@@ -22,7 +21,7 @@ class TestOfflineTransitions:
         ctx.engine.run(until=1.0)
         assert requester.pending[0].active_sources == 1
 
-        take_peer_offline(provider)
+        provider.disconnect()
         assert not provider.online
         assert requester.pending[0].active_sources == 0
         assert ctx.lookup.providers(0, exclude=-1) == set()
@@ -38,7 +37,7 @@ class TestOfflineTransitions:
         requester = build_peer(ctx, 1, mechanism="none")
         give(ctx, provider, 0)
         download = requester.start_download(ctx.catalog.object(0))
-        take_peer_offline(requester)
+        requester.disconnect()
         assert download.registered_at == set()
         assert (1, 0) not in provider.irq
 
@@ -52,16 +51,16 @@ class TestOfflineTransitions:
         b.start_download(ctx.catalog.object(0))
         ctx.engine.run(until=1.0)
         assert a.exchange_upload_count == 1
-        take_peer_offline(b)
+        b.disconnect()
         assert a.exchange_upload_count == 0
 
     def test_online_republishes_store(self):
         ctx = make_ctx()
         peer = build_peer(ctx, 0, mechanism="none")
         give(ctx, peer, 0)
-        take_peer_offline(peer)
+        peer.disconnect()
         assert ctx.lookup.providers(0, exclude=-1) == set()
-        bring_peer_online(peer)
+        peer.reconnect()
         assert ctx.lookup.providers(0, exclude=-1) == {0}
 
     def test_offline_drains_queued_entries_from_other_requesters(self):
@@ -94,7 +93,7 @@ class TestOfflineTransitions:
         # A second provider appears, then A churns off with the entry
         # still queued.
         give(ctx, provider_b, 0)
-        take_peer_offline(provider_a)
+        provider_a.disconnect()
         assert provider_a.peer_id not in download.registered_at
         assert provider_a.irq.is_empty
         # The next periodic scan re-looks-up and finds provider B; the
@@ -111,12 +110,12 @@ class TestOfflineTransitions:
         peer = ctx.peers[0]
         assert len(peer.periodic_processes) == 2
         ctx.engine.run(until=200.0)
-        take_peer_offline(peer)
+        peer.disconnect()
         assert all(p.paused for p in peer.periodic_processes)
         fired_before = [p.fired for p in peer.periodic_processes]
         ctx.engine.run(until=1_200.0)  # many scan/storage intervals
         assert [p.fired for p in peer.periodic_processes] == fired_before
-        bring_peer_online(peer)
+        peer.reconnect()
         assert all(not p.paused for p in peer.periodic_processes)
         ctx.engine.run(until=1_600.0)
         assert peer.periodic_processes[0].fired > fired_before[0]
@@ -125,10 +124,10 @@ class TestOfflineTransitions:
         ctx = make_ctx()
         peer = build_peer(ctx, 0, mechanism="none")
         give(ctx, peer, 0)
-        take_peer_offline(peer)
-        take_peer_offline(peer)  # no-op, must not raise
-        bring_peer_online(peer)
-        bring_peer_online(peer)
+        peer.disconnect()
+        peer.disconnect()  # no-op, must not raise
+        peer.reconnect()
+        peer.reconnect()
         assert peer.online
 
 

@@ -73,6 +73,40 @@ class TestFingerprint:
             tiny_config(exchange_mechanism="pairwise")
         )
 
+    def test_scenario_changes_fingerprint(self):
+        """Stale-cache regression: a cached closed-system cell must
+        never answer for the same config with a scenario attached (and
+        different scenarios must never collide)."""
+        from repro.scenario import FlashCrowd, PeerArrival, Phase
+
+        plain = tiny_config()
+        crowd = tiny_config(
+            scenario=(Phase(0.0, "s"), FlashCrowd(600.0, seed_providers=1))
+        )
+        waves = tiny_config(
+            scenario=(Phase(0.0, "s"), PeerArrival(600.0, count=2, class_name="sharer"))
+        )
+        fingerprints = {
+            config_fingerprint(plain),
+            config_fingerprint(crowd),
+            config_fingerprint(waves),
+        }
+        assert len(fingerprints) == 3
+
+    def test_scenario_cache_schema_bumped(self, tmp_path):
+        """Entries written before the scenario engine (schema <= 2) are
+        misses; the current stamp covers scenario-bearing summaries."""
+        assert orchestrator.CACHE_SCHEMA_VERSION == 3
+        cache = ResultCache(str(tmp_path))
+        plain = tiny_config()
+        cache.store(plain, fake_summary())
+        from repro.scenario import Phase
+
+        with_scenario = tiny_config(scenario=(Phase(0.0, "s"),))
+        # Same everything but the scenario: must not hit the plain entry.
+        assert cache.load(with_scenario) is None
+        assert cache.load(plain) == fake_summary()
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path):

@@ -1,0 +1,57 @@
+"""Strategy dynamics: do adaptive peers keep sharing?
+
+The paper evaluates incentive mechanisms against *fixed* populations —
+a free-rider stays a free-rider forever.  The strategy layer
+(`repro.strategy`) lets every peer periodically compare the realized
+payoff of sharing against free-riding and switch sides.  This example
+runs the same adaptive population under two mechanisms and prints the
+sharing-fraction trajectory:
+
+* no incentive ("none"): sharing carries cost and earns nothing, so the
+  population collapses toward free-riding — the tragedy of the commons
+  the paper's motivation section describes;
+* 2-5-way exchanges: sharers are served at exchange priority, so
+  sharing pays for itself and the population converges to (almost)
+  everyone sharing.
+
+Run with:  python examples/strategy_evolution.py
+"""
+
+from __future__ import annotations
+
+from repro import run_simulation
+from repro.experiments.presets import evolution_config
+
+
+def main() -> None:
+    print("Adaptive peers, best-response revisions, 50% initial sharers.\n")
+    results = {}
+    for mechanism in ("none", "exchange"):
+        config = evolution_config("smoke", mechanism, seed=42)
+        print(f"simulating mechanism={mechanism!r} "
+              f"({config.num_peers} peers, {len(config.population) or 2} classes)...")
+        results[mechanism] = run_simulation(config).summary
+
+    print("\nepoch   none   exchange")
+    none_series = results["none"].sharing_fraction_by_epoch
+    exchange_series = results["exchange"].sharing_fraction_by_epoch
+    for index in range(max(len(none_series), len(exchange_series))):
+        row = [f"{index + 1:5d}"]
+        for series in (none_series, exchange_series):
+            row.append(
+                f"{series[index][1]:6.2f}" if index < len(series) else "     -"
+            )
+        print("  ".join(row))
+
+    for mechanism, summary in results.items():
+        print(f"\n{mechanism}: equilibrium sharing fraction "
+              f"{summary.equilibrium_sharing_fraction:.2f} "
+              f"({summary.strategy_switches} switches, "
+              f"final {summary.final_sharing_fraction:.2f})")
+    print("\nWithout an incentive, rational peers stop sharing; with "
+          "exchange priority,\nsharing is the winning strategy — the "
+          "paper's thesis, now as a dynamic equilibrium.")
+
+
+if __name__ == "__main__":
+    main()

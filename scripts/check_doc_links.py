@@ -1,0 +1,65 @@
+"""Markdown link checker for the docs CI job.
+
+Scans the given markdown files for inline links and images
+(``[text](target)`` / ``![alt](target)``) and fails when a *relative*
+target does not exist on disk (anchors are stripped; external
+``http(s)``/``mailto`` targets are skipped — the job must stay
+offline-deterministic).  Pure stdlib so it runs anywhere the repo does.
+
+Usage::
+
+    python scripts/check_doc_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import List, Tuple
+
+#: Inline markdown links/images; deliberately simple — the docs avoid
+#: exotic link syntax so a regex is enough and stays dependency-free.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Target schemes that are not files on disk.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def broken_links(paths: List[str]) -> List[Tuple[str, int, str]]:
+    """``(file, line, target)`` for every relative target that is missing."""
+    import os
+
+    problems: List[Tuple[str, int, str]] = []
+    for path in paths:
+        base = os.path.dirname(os.path.abspath(path))
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                for match in LINK_PATTERN.finditer(line):
+                    target = match.group(1)
+                    if target.startswith(EXTERNAL_PREFIXES):
+                        continue
+                    target = target.split("#", 1)[0]
+                    if not target:  # pure in-page anchor
+                        continue
+                    resolved = os.path.normpath(os.path.join(base, target))
+                    if not os.path.exists(resolved):
+                        problems.append((path, lineno, match.group(1)))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Check every file named on the command line; 1 on any broken link."""
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    problems = broken_links(argv)
+    for path, lineno, target in problems:
+        print(f"{path}:{lineno}: broken link -> {target}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"checked {len(argv)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -55,10 +55,12 @@ from repro.scenario import (
     PeerDeparture,
     Phase,
     ScenarioDirector,
+    StrategyShock,
 )
 from repro.simulation import FileSharingSimulation, SimulationResult, run_simulation
+from repro.strategy import STRATEGY_RULES, StrategyDirector, StrategySpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CapacityChange",
@@ -91,6 +93,10 @@ __all__ = [
     "SimulationResult",
     "SimulationSummary",
     "StorageError",
+    "STRATEGY_RULES",
+    "StrategyDirector",
+    "StrategyShock",
+    "StrategySpec",
     "TerminationReason",
     "TokenValidationFailed",
     "TrafficClass",

@@ -69,9 +69,11 @@ class CreditLedger:
         self._volumes[remote_id] = (up, down + kbit)
 
     def volumes(self, remote_id: int) -> Tuple[float, float]:
+        """``(they_uploaded_to_me, they_downloaded_from_me)`` in kbit."""
         return self._volumes.get(remote_id, (0.0, 0.0))
 
     def modifier(self, remote_id: int) -> float:
+        """The eMule credit modifier for one remote peer."""
         uploaded, downloaded = self.volumes(remote_id)
         return credit_modifier(uploaded, downloaded)
 
@@ -80,4 +82,5 @@ class CreditLedger:
         return credit_queue_rank(waiting_seconds, self.modifier(remote_id))
 
     def known_peers(self) -> int:
+        """How many remote peers have ledger entries."""
         return len(self._volumes)

@@ -29,11 +29,13 @@ class ParticipationReporter:
         self.downloaded_kbit = 0.0
 
     def record_uploaded(self, kbit: float) -> None:
+        """Account ``kbit`` of served upload volume."""
         if kbit < 0:
             raise ProtocolError("upload volume cannot be negative")
         self.uploaded_kbit += kbit
 
     def record_downloaded(self, kbit: float) -> None:
+        """Account ``kbit`` of received download volume."""
         if kbit < 0:
             raise ProtocolError("download volume cannot be negative")
         self.downloaded_kbit += kbit

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.population import PeerClassSpec
 from repro.scenario import ScenarioEvent
+from repro.strategy import StrategySpec
 from repro.units import mb_to_kbit
 
 
@@ -47,6 +48,13 @@ class SimulationConfig:
     #: empty scenario consumes no RNG and replays pre-scenario runs
     #: bit-identically.
     scenario: Tuple[ScenarioEvent, ...] = ()
+    #: Adaptive strategy dynamics (see :mod:`repro.strategy`): the
+    #: default revision behaviour inherited by every peer class that
+    #: does not declare its own :attr:`PeerClassSpec.strategy`.
+    #: ``None`` (and the explicit ``static`` spec) keep the paper's
+    #: fixed populations — no revision events, no RNG consumed,
+    #: bit-identical to pre-strategy runs.
+    strategy: Optional[StrategySpec] = None
 
     # ------------------------------------------------------------------ links
     download_capacity_kbit: float = 800.0
@@ -137,14 +145,17 @@ class SimulationConfig:
     # ------------------------------------------------------------------
     @property
     def object_size_kbit(self) -> float:
+        """Object size in kbit (the paper quotes sizes in MB)."""
         return mb_to_kbit(self.object_size_mb)
 
     @property
     def upload_slots(self) -> int:
+        """Upload slots per peer at the global link capacity."""
         return int(self.upload_capacity_kbit // self.slot_kbit)
 
     @property
     def download_slots(self) -> int:
+        """Download slots per peer at the global link capacity."""
         return int(self.download_capacity_kbit // self.slot_kbit)
 
     @property
@@ -160,10 +171,12 @@ class SimulationConfig:
 
     @property
     def num_freeloaders(self) -> int:
+        """Free-rider count implied by ``freeloader_fraction`` (rounded)."""
         return int(round(self.num_peers * self.freeloader_fraction))
 
     @property
     def num_sharers(self) -> int:
+        """Sharer count: whatever the free-riders leave of ``num_peers``."""
         return self.num_peers - self.num_freeloaders
 
     # ------------------------------------------------------------------
@@ -262,6 +275,13 @@ class SimulationConfig:
         from repro.core.policies import parse_mechanism
 
         parse_mechanism(self.exchange_mechanism)
+        if self.strategy is not None:
+            if not isinstance(self.strategy, StrategySpec):
+                raise ConfigError(
+                    "strategy must be a StrategySpec, got "
+                    f"{type(self.strategy).__name__}"
+                )
+            self.strategy.validate()
         # Population specs (or the derived legacy two-class split) must
         # resolve to exact per-class counts covering every peer.
         from repro.population import resolve_population

@@ -52,6 +52,7 @@ class Category:
 
     @property
     def size(self) -> int:
+        """Number of objects in the category."""
         return len(self.objects)
 
 
@@ -75,10 +76,12 @@ class Catalog:
     # ------------------------------------------------------------------
     @property
     def num_categories(self) -> int:
+        """Number of content categories."""
         return len(self.categories)
 
     @property
     def num_objects(self) -> int:
+        """Total objects across all categories (injections included)."""
         return len(self._objects)
 
     def object(self, object_id: int) -> ContentObject:
@@ -86,6 +89,7 @@ class Catalog:
         return self._objects[object_id]
 
     def category(self, category_id: int) -> Category:
+        """Look up a category by id; IndexError on unknown ids is a bug."""
         return self.categories[category_id]
 
     def all_objects(self) -> List[ContentObject]:

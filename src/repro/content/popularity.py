@@ -82,6 +82,7 @@ class PopularityCache:
         self._cache: dict = {}
 
     def get(self, num_ranks: int, factor: float) -> RankPopularity:
+        """The (cached) rank distribution for ``(num_ranks, factor)``."""
         key = (num_ranks, factor)
         dist = self._cache.get(key)
         if dist is None:

@@ -40,6 +40,7 @@ class ObjectStore:
 
     @property
     def over_capacity(self) -> bool:
+        """Whether the store currently holds more than its capacity."""
         return len(self._objects) > self.capacity
 
     @property
@@ -52,9 +53,11 @@ class ObjectStore:
         return sorted(self._objects)
 
     def is_pinned(self, object_id: int) -> bool:
+        """Whether the object is protected from eviction."""
         return self._pins.get(object_id, 0) > 0
 
     def pin_count(self, object_id: int) -> int:
+        """Reference count of pins on one object (0 = evictable)."""
         return self._pins.get(object_id, 0)
 
     # ------------------------------------------------------------------
@@ -88,6 +91,7 @@ class ObjectStore:
         self._pins[object_id] = self._pins.get(object_id, 0) + 1
 
     def unpin(self, object_id: int) -> None:
+        """Release one pin reference; unpinning a non-pinned object raises."""
         count = self._pins.get(object_id, 0)
         if count <= 0:
             raise StorageError(f"cannot unpin object {object_id}: not pinned")

@@ -44,6 +44,7 @@ class SimContext:
 
     @property
     def now(self) -> float:
+        """Current simulated time in seconds (the engine's clock)."""
         return self.engine.now
 
     def peer(self, peer_id: int) -> "Peer":

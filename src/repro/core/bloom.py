@@ -46,11 +46,13 @@ class BloomFilter:
             yield (h1 + i * h2) % self.bits
 
     def add(self, item: int) -> None:
+        """Insert one item (sets its ``num_hashes`` bit positions)."""
         for position in self._positions(item):
             self._bitmap |= 1 << position
         self._items += 1
 
     def update(self, items: Iterable[int]) -> None:
+        """Insert every item of the iterable."""
         for item in items:
             self.add(item)
 
@@ -63,6 +65,7 @@ class BloomFilter:
     # ------------------------------------------------------------------
     @property
     def items_added(self) -> int:
+        """How many insertions the filter has absorbed."""
         return self._items
 
     @property
@@ -71,6 +74,7 @@ class BloomFilter:
         return (self.bits + 7) // 8
 
     def fill_ratio(self) -> float:
+        """Fraction of bits set (the filter's saturation)."""
         return bin(self._bitmap).count("1") / self.bits
 
     def expected_false_positive_rate(self) -> float:

@@ -90,6 +90,7 @@ class BloomTreeSummary:
         ]
 
     def may_contain(self, peer_id: int) -> bool:
+        """Whether the summarized tree may contain ``peer_id`` (no false negatives)."""
         return bool(self.depth_candidates(peer_id)) or peer_id == self.root_peer_id
 
     def trimmed(self) -> "BloomTreeSummary":

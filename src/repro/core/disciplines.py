@@ -65,6 +65,19 @@ class ServiceDiscipline:
         """Service priority of one entry (higher serves first)."""
         return 0.0
 
+    def standing(self) -> float:
+        """The owner's contribution standing in ``[0, 1]``.
+
+        The honest participation level — uploaded volume over the
+        larger of uploaded/downloaded — which is exactly the quantity
+        both baseline schemes reward (credit multiplies it out per
+        remote peer, participation reports it globally).  The strategy
+        layer (:mod:`repro.strategy`) feeds it into payoff evaluation;
+        every discipline maintains the underlying volumes, so the
+        standing is defined under FIFO too.
+        """
+        return self.participation.honest_level
+
     def service_iter(
         self, peer: "Peer", entries: Sequence["RequestEntry"]
     ) -> Iterator["RequestEntry"]:
@@ -123,6 +136,7 @@ class CreditDiscipline(ServiceDiscipline):
         # One second of base waiting keeps the rank multiplicative even
         # for requests scheduled the instant they arrive (eMule gives
         # every queued request a base score for the same reason).
+        """eMule queue rank: waiting time scaled by the requester's credit modifier."""
         return self.credit.rank(
             entry.requester_id, peer.ctx.now - entry.arrival_time + 1.0
         )
@@ -135,6 +149,7 @@ class ParticipationDiscipline(ServiceDiscipline):
     ranked = True
 
     def rank(self, peer: "Peer", entry: "RequestEntry") -> float:
+        """Priority by the requester's claimed level; waiting time breaks ties."""
         ctx = peer.ctx
         requester = ctx.peer(entry.requester_id)
         return participation_priority(

@@ -83,6 +83,7 @@ class RequestEntry:
 
     @property
     def key(self) -> Tuple[int, int]:
+        """``(requester_id, object_id)`` — the queue's identity for this entry."""
         return (self.requester_id, self.object_id)
 
     @property
@@ -215,10 +216,12 @@ class IncomingRequestQueue:
 
     @property
     def is_empty(self) -> bool:
+        """Whether no entry is queued or attached."""
         return not self._entries
 
     @property
     def is_full(self) -> bool:
+        """Whether the queue reached its capacity bound."""
         return len(self._entries) >= self.capacity
 
     # ------------------------------------------------------------------
@@ -289,6 +292,7 @@ class IncomingRequestQueue:
     # queries
     # ------------------------------------------------------------------
     def get(self, requester_id: int, object_id: int) -> Optional[RequestEntry]:
+        """The live entry for ``(requester_id, object_id)``, or None."""
         return self._entries.get((requester_id, object_id))
 
     def snapshot(self) -> List[RequestEntry]:

@@ -34,6 +34,7 @@ class ExchangePolicy:
 
     @property
     def enables_exchanges(self) -> bool:
+        """Whether this policy forms rings at all (``max_ring >= 2``)."""
         return self.max_ring >= 2
 
     @property
@@ -46,6 +47,7 @@ class ExchangePolicy:
         return max(0, self.max_ring - 1)
 
     def accepts(self, ring_size: int) -> bool:
+        """Whether a ring of ``ring_size`` members is admissible."""
         return 2 <= ring_size <= self.max_ring
 
     def order(self, candidates: Sequence[RingCandidate]) -> List[RingCandidate]:
@@ -63,6 +65,7 @@ class NoExchangePolicy(ExchangePolicy):
         super().__init__("none", 0)
 
     def order(self, candidates: Sequence[RingCandidate]) -> List[RingCandidate]:
+        """No candidates are ever acceptable."""
         return []
 
 
@@ -82,6 +85,7 @@ class ShortestFirstPolicy(ExchangePolicy):
         super().__init__(f"2-{max_ring}-way", max_ring)
 
     def order(self, candidates: Sequence[RingCandidate]) -> List[RingCandidate]:
+        """Admissible candidates, shortest rings first (stable)."""
         accepted = [c for c in candidates if self.accepts(c.size)]
         return sorted(accepted, key=lambda c: c.size)  # stable: keeps FIFO ties
 
@@ -95,6 +99,7 @@ class LongestFirstPolicy(ExchangePolicy):
         super().__init__(f"{max_ring}-2-way", max_ring)
 
     def order(self, candidates: Sequence[RingCandidate]) -> List[RingCandidate]:
+        """Admissible candidates, longest rings first (stable)."""
         accepted = [c for c in candidates if self.accepts(c.size)]
         return sorted(accepted, key=lambda c: -c.size)
 

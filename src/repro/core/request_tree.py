@@ -102,6 +102,7 @@ class RequestTreeNode:
         return cache
 
     def iter_nodes(self) -> Iterator["RequestTreeNode"]:
+        """Depth-first iteration over this node and its subtree."""
         yield self
         for child in self.children:
             yield from child.iter_nodes()
@@ -110,6 +111,7 @@ class RequestTreeNode:
     # (de)serialization — used by tests, debugging and the examples
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        """JSON-safe nested dict form (tests, debugging, examples)."""
         return {
             "peer": self.peer_id,
             "object": self.object_id,
@@ -118,6 +120,7 @@ class RequestTreeNode:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RequestTreeNode":
+        """Rebuild a tree from :meth:`to_dict` output."""
         children = tuple(cls.from_dict(child) for child in data.get("children", ()))
         return cls(data["peer"], data.get("object"), children)
 

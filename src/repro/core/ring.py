@@ -61,6 +61,7 @@ def edges_from_candidate(initiator_id: int, candidate: "RingCandidate") -> List[
 
 
 class RingState(enum.Enum):
+    """Lifecycle of a ring: forming -> active -> broken."""
     FORMING = "forming"
     ACTIVE = "active"
     BROKEN = "broken"
@@ -89,17 +90,21 @@ class ExchangeRing:
 
     @property
     def size(self) -> int:
+        """Number of members (= edges) in the ring."""
         return len(self.edges)
 
     def member_ids(self) -> List[int]:
+        """The ring's member peer ids, in edge order."""
         return [edge.requester_id for edge in self.edges]
 
     def attach(self, transfer: "Transfer") -> None:
+        """Bind one member transfer to the forming ring."""
         if self.state is RingState.BROKEN:
             raise RingError(f"cannot attach a transfer to broken ring {self.ring_id}")
         self.transfers.append(transfer)
 
     def activate(self, now: float) -> None:
+        """All edges attached: the ring goes active at ``now``."""
         if len(self.transfers) != len(self.edges):
             raise RingError(
                 f"ring {self.ring_id} activated with {len(self.transfers)} "

@@ -45,6 +45,7 @@ class RingCandidate:
 
     @property
     def size(self) -> int:
+        """Ring size if committed: the path plus the searching peer."""
         return len(self.path) + 1
 
     @property
@@ -53,6 +54,7 @@ class RingCandidate:
         return self.path[-1][0]
 
     def peers(self) -> List[int]:
+        """Peer ids along the candidate path (closing peer last)."""
         return [step[0] for step in self.path]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

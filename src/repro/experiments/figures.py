@@ -30,6 +30,7 @@ from repro.experiments.presets import (
     CAPACITY_TIERS,
     CATEGORY_GRID,
     adoption_population,
+    evolution_config,
     flash_crowd_scenario,
     preset,
     swarm_growth_scenario,
@@ -491,6 +492,57 @@ def _swarm_growth_assemble(
     )
 
 
+# ---------------------------------------------------------------------------
+# Evolution — adaptive strategy dynamics under each incentive mechanism
+# ---------------------------------------------------------------------------
+
+#: Legend order of the ``evolution`` figure's columns (weakest incentive
+#: first — the qualitative equilibrium ordering of the related work is
+#: that sharing rises left to right).
+EVOLUTION_MECHANISMS = ("none", "credit", "participation", "exchange")
+
+
+def _evolution_grid(scale: str, seed: int) -> CellGrid:
+    return {
+        mechanism: evolution_config(scale, mechanism, seed)
+        for mechanism in EVOLUTION_MECHANISMS
+    }
+
+
+def _evolution_assemble(scale: str, seed: int, summaries: CellSummaries) -> SeriesTable:
+    """Sharing-fraction trajectories, one row per revision epoch.
+
+    Every cell runs the same revision cadence, so epoch indices align
+    across mechanisms.  The expected qualitative picture (related work:
+    Salek et al., Buragohain et al.; seed-pinned at the default seed)
+    is equilibrium sharing ordered ``exchange >= participation >=
+    credit >= none`` — the no-incentive and weak credit populations
+    collapse toward free-riding while honest participation and exchange
+    priority sustain sharing.  Individual trajectories are strongly
+    path-dependent (equilibrium selection under noisy best response),
+    so other seeds may settle elsewhere; the ordering claim is about
+    the default-seed preset the test pins.
+    """
+    table = SeriesTable(
+        "Evolution: population sharing fraction per strategy-revision epoch "
+        "(best response; columns = incentive mechanism)",
+        "epoch",
+        list(EVOLUTION_MECHANISMS),
+    )
+    series = {
+        mechanism: summaries[mechanism].sharing_fraction_by_epoch
+        for mechanism in EVOLUTION_MECHANISMS
+    }
+    epochs = max((len(points) for points in series.values()), default=0)
+    for index in range(epochs):
+        row: Dict[str, Optional[float]] = {}
+        for mechanism in EVOLUTION_MECHANISMS:
+            points = series[mechanism]
+            row[mechanism] = points[index][1] if index < len(points) else None
+        table.add_row(float(index + 1), row)
+    return table
+
+
 #: Registry used by the orchestrator, the CLI runner and the benchmarks.
 FIGURES: Dict[str, FigureSpec] = {
     spec.figure_id: spec
@@ -521,6 +573,8 @@ FIGURES: Dict[str, FigureSpec] = {
                    _flashcrowd_grid, _flashcrowd_assemble),
         FigureSpec("swarm-growth", "per-phase download time as the swarm grows",
                    _swarm_growth_grid, _swarm_growth_assemble),
+        FigureSpec("evolution", "sharing-fraction dynamics per incentive mechanism",
+                   _evolution_grid, _evolution_assemble),
     )
 }
 

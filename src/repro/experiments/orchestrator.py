@@ -54,10 +54,12 @@ ProgressFn = Callable[[int, int], None]
 #: refactor did: fingerprints now cover ``population`` and summaries
 #: carry per-class breakdowns; the scenario refactor did again:
 #: fingerprints now cover ``scenario``/``max_miss_attempts`` and
-#: summaries carry per-phase breakdowns).  Entries stamped with any
-#: other value are treated as misses, so stale pre-refactor results are
-#: never replayed.
-CACHE_SCHEMA_VERSION = 3
+#: summaries carry per-phase breakdowns; the strategy layer did again:
+#: fingerprints now cover ``strategy`` / per-class strategy specs and
+#: summaries carry sharing-fraction trajectories).  Entries stamped
+#: with any other value are treated as misses, so stale pre-refactor
+#: results are never replayed.
+CACHE_SCHEMA_VERSION = 4
 
 
 def config_fingerprint(config: SimulationConfig) -> str:
@@ -187,6 +189,7 @@ class MemoryCache:
         config: SimulationConfig,
         fingerprint: Optional[str] = None,
     ) -> Optional[SimulationSummary]:
+        """The stored summary for ``config``, or None on a miss."""
         summary = self._store.get(fingerprint or config_fingerprint(config))
         if summary is None:
             self.misses += 1
@@ -200,6 +203,7 @@ class MemoryCache:
         summary: SimulationSummary,
         fingerprint: Optional[str] = None,
     ) -> None:
+        """Keep one finished cell for the rest of this invocation."""
         self._store[fingerprint or config_fingerprint(config)] = summary
 
     def __len__(self) -> int:

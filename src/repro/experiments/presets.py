@@ -34,6 +34,7 @@ from repro.config import SimulationConfig
 from repro.errors import ConfigError
 from repro.population import PeerClassSpec
 from repro.scenario import FlashCrowd, PeerArrival, PeerDeparture, Phase, ScenarioSpec
+from repro.strategy import StrategySpec
 
 #: Per-scale overrides applied on top of Table II defaults.
 SCALES: Dict[str, dict] = {
@@ -271,6 +272,83 @@ def swarm_growth_scenario(config: SimulationConfig) -> ScenarioSpec:
                 PeerArrival(t, count=freeloaders, class_name="freeloader")
             )
     return tuple(events)
+
+
+#: The ``evolution`` figure's incentive-mechanism cells: under which
+#: rules do adaptive peers keep sharing?  ``participation`` runs with
+#: honest reporting (``freeloaders_fake_participation=False``) — with
+#: the trivial KaZaA claim-the-maximum cheat the scheme degenerates to
+#: FIFO and the cell would just repeat ``none``.
+EVOLUTION_CELLS: Dict[str, dict] = {
+    "none": dict(exchange_mechanism="none", scheduler_mode="fifo"),
+    "credit": dict(exchange_mechanism="none", scheduler_mode="credit"),
+    "participation": dict(
+        exchange_mechanism="none",
+        scheduler_mode="participation",
+        freeloaders_fake_participation=False,
+    ),
+    "exchange": dict(exchange_mechanism="2-5-way", scheduler_mode="fifo"),
+}
+
+
+def evolution_strategy(
+    scale: str, rule: str = "best-response"
+) -> Tuple[StrategySpec, float]:
+    """The ``evolution`` figure's strategy spec and run duration.
+
+    Returns ``(spec, duration)``: the run extends the scale's duration
+    by 25% so the dynamics get ~14 revision epochs after the warmup,
+    with the revision cadence and sliding window scaled to the
+    measurement window (period = 1/14th of the revision era, window =
+    3 periods).  Revisions start an eighth of the extended window past
+    the warmup so the first epoch judges warm, loaded behaviour.
+    """
+    if scale not in SCALES:
+        raise ConfigError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        )
+    base = SCALES[scale]
+    duration = base.get("duration", 240_000.0) * 1.25
+    warmup = base.get("warmup", 48_000.0)
+    start = warmup + 0.125 * (duration - warmup)
+    period = (duration - start) / 14.0
+    return (
+        StrategySpec(
+            rule=rule,
+            start=start,
+            revision_period=period,
+            window=3.0 * period,
+            revision_probability=0.4,
+            payoff_sensitivity=20.0,
+            sharing_cost=8.0,
+            standing_weight=0.5,
+            exchange_weight=8.0,
+        ),
+        duration,
+    )
+
+
+def evolution_config(scale: str, mechanism: str, seed: int) -> SimulationConfig:
+    """One ``evolution`` cell: strategy dynamics under one mechanism.
+
+    All cells run in the loaded regime (40 kbit/s uplinks — incentives
+    only bite under contention) from the Table II 50/50 initial
+    condition, with every peer revising by best response.
+    """
+    if mechanism not in EVOLUTION_CELLS:
+        raise ConfigError(
+            f"unknown evolution mechanism {mechanism!r}; expected one of "
+            f"{sorted(EVOLUTION_CELLS)}"
+        )
+    spec, duration = evolution_strategy(scale)
+    return preset(
+        scale,
+        strategy=spec,
+        duration=duration,
+        upload_capacity_kbit=40.0,
+        seed=seed,
+        **EVOLUTION_CELLS[mechanism],
+    )
 
 
 def preset(scale: str, **overrides) -> SimulationConfig:

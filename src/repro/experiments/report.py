@@ -39,6 +39,7 @@ class SeriesTable:
         values: Dict[str, Optional[float]],
         errors: Optional[Dict[str, float]] = None,
     ) -> None:
+        """Append one x row; unknown series names raise, missing ones render as '-'."""
         unknown = set(values) - set(self.columns)
         if unknown:
             raise MetricsError(f"unknown series {sorted(unknown)} in {self.title}")

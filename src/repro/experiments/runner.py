@@ -29,6 +29,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-experiments`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the paper's tables and figures.",
@@ -39,9 +40,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
+        "--preset",
+        dest="scale",
         default="smoke",
         choices=sorted(SCALES),
-        help="experiment scale preset (default: smoke)",
+        help="experiment scale preset (default: smoke); --preset is an alias",
     )
     parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
     parser.add_argument(
@@ -76,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     figure_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
     unknown = [f for f in figure_ids if f not in FIGURES]

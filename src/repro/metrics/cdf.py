@@ -25,14 +25,17 @@ class EmpiricalCDF:
 
     @property
     def n(self) -> int:
+        """Number of samples the CDF was built from."""
         return self._n
 
     @property
     def min(self) -> float:
+        """Smallest sample value."""
         return self._sorted[0]
 
     @property
     def max(self) -> float:
+        """Largest sample value."""
         return self._sorted[-1]
 
     def __call__(self, x: float) -> float:
@@ -48,6 +51,7 @@ class EmpiricalCDF:
         return self._sorted[index]
 
     def mean(self) -> float:
+        """Arithmetic mean of the samples."""
         return sum(self._sorted) / self._n
 
     def points(self, max_points: int = 200) -> List[Tuple[float, float]]:

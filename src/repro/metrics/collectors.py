@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.metrics.records import (
     DownloadRecord,
     SessionRecord,
+    StrategyEpochRecord,
     TerminationReason,
     TrafficClass,
 )
@@ -26,6 +27,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.sessions: List[SessionRecord] = []
         self.downloads: List[DownloadRecord] = []
+        self.strategy_epochs: List[StrategyEpochRecord] = []
         self.counters: Counter = Counter()
         #: Scenario-phase label stamped onto records as they land; set
         #: by the :class:`~repro.scenario.ScenarioDirector` on phase
@@ -36,6 +38,7 @@ class MetricsCollector:
     # recording
     # ------------------------------------------------------------------
     def record_session(self, record: SessionRecord) -> None:
+        """Append one transfer-session record (phase label stamped here)."""
         if self.current_phase and not record.phase:
             record = dataclasses.replace(record, phase=self.current_phase)
         self.sessions.append(record)
@@ -43,11 +46,18 @@ class MetricsCollector:
         self.counters[f"session.reason.{record.reason.value}"] += 1
 
     def record_download(self, record: DownloadRecord) -> None:
+        """Append one completed-download record (phase label stamped here)."""
         if self.current_phase and not record.phase:
             record = dataclasses.replace(record, phase=self.current_phase)
         self.downloads.append(record)
         key = "download.sharer" if record.peer_is_sharer else "download.freeloader"
         self.counters[key] += 1
+
+    def record_strategy_epoch(self, record: StrategyEpochRecord) -> None:
+        """Append one strategy-revision epoch (phase label stamped here)."""
+        if self.current_phase and not record.phase:
+            record = dataclasses.replace(record, phase=self.current_phase)
+        self.strategy_epochs.append(record)
 
     def count(self, name: str, delta: int = 1) -> None:
         """Bump a free-form counter (ring attempts, token failures, ...)."""
@@ -67,6 +77,7 @@ class MetricsCollector:
     def sessions_by_class(
         self, warmup: float = 0.0
     ) -> Dict[TrafficClass, List[SessionRecord]]:
+        """Post-warmup sessions grouped by :class:`TrafficClass`."""
         grouped: Dict[TrafficClass, List[SessionRecord]] = {}
         for session in self.sessions_after(warmup):
             grouped.setdefault(session.traffic_class, []).append(session)
@@ -120,6 +131,7 @@ class MetricsCollector:
         return grouped
 
     def reason_counts(self) -> Dict[TerminationReason, int]:
+        """Session count per termination reason (zero counts omitted)."""
         counts: Dict[TerminationReason, int] = {}
         for reason in TerminationReason:
             key = f"session.reason.{reason.value}"

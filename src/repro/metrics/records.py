@@ -43,6 +43,7 @@ class TrafficClass(enum.Enum):
 
     @property
     def is_exchange(self) -> bool:
+        """Whether sessions of this class ran at exchange priority."""
         return self is not TrafficClass.NON_EXCHANGE
 
 
@@ -57,6 +58,7 @@ class TerminationReason(enum.Enum):
     SOURCE_DELETED = "source-deleted"  # provider evicted the object
     REQUESTER_CANCELLED = "requester-cancelled"  # requester no longer wants it
     PEER_OFFLINE = "peer-offline"  # churn extension
+    STOPPED_SHARING = "stopped-sharing"  # provider turned free-rider (strategy layer)
     SIM_END = "sim-end"  # censored at end of run
     CHEAT_DETECTED = "cheat-detected"  # security extension
 
@@ -91,6 +93,7 @@ class SessionRecord:
 
     @property
     def duration(self) -> float:
+        """Session length in seconds (start to termination)."""
         return self.end_time - self.start_time
 
     def __post_init__(self) -> None:
@@ -121,6 +124,7 @@ class DownloadRecord:
 
     @property
     def download_time(self) -> float:
+        """Seconds from original request to full receipt."""
         return self.complete_time - self.request_time
 
     def __post_init__(self) -> None:
@@ -128,4 +132,48 @@ class DownloadRecord:
             raise ValueError(
                 "download completes before request: "
                 f"[{self.request_time}, {self.complete_time}]"
+            )
+
+
+@dataclass(frozen=True)
+class StrategyEpochRecord:
+    """One strategy-revision epoch (see :mod:`repro.strategy`).
+
+    Recorded by the :class:`~repro.strategy.StrategyDirector` after each
+    revision pass; the series of these records is the sharing-fraction
+    trajectory the ``evolution`` figure plots.
+    """
+
+    #: Simulated time of the revision epoch.
+    time: float
+    #: 1-based epoch index.
+    epoch: int
+    #: Alive strategy-enrolled peers at the epoch.
+    enrolled: int
+    #: How many of them currently share.
+    sharing: int
+    #: How many peers drew a revision opportunity this epoch.
+    revised: int
+    #: Switches applied this epoch, by direction.
+    switched_to_sharing: int
+    switched_to_freeloading: int
+    #: Mean realized payoff of the sharing / free-riding sides (None
+    #: when no peer on that side had window data).
+    mean_payoff_sharing: Optional[float]
+    mean_payoff_freeloading: Optional[float]
+    #: Scenario-phase label active at the epoch ("" outside any named
+    #: phase; stamped by the collector, not by call sites).
+    phase: str = ""
+
+    @property
+    def sharing_fraction(self) -> float:
+        """Fraction of alive enrolled peers currently sharing."""
+        if self.enrolled <= 0:
+            return 0.0
+        return self.sharing / self.enrolled
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sharing <= self.enrolled:
+            raise ValueError(
+                f"sharing count {self.sharing} outside [0, {self.enrolled}]"
             )

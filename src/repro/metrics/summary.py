@@ -67,6 +67,18 @@ class SimulationSummary:
         default_factory=dict
     )
 
+    # Strategy-dynamics trajectory (see :mod:`repro.strategy`): one
+    # ``[time, sharing_fraction]`` pair per revision epoch, in time
+    # order.  Empty for static-population runs.
+    sharing_fraction_by_epoch: List[List[float]] = field(default_factory=list)
+    #: Mean sharing fraction over the last quarter of revision epochs
+    #: (the settled regime); None without any epoch.
+    equilibrium_sharing_fraction: Optional[float] = None
+    #: Sharing fraction at the final revision epoch; None without any.
+    final_sharing_fraction: Optional[float] = None
+    #: Total behaviour switches applied by the strategy layer.
+    strategy_switches: int = 0
+
     # extras
     counters: Dict[str, int] = field(default_factory=dict)
 
@@ -194,6 +206,23 @@ def summarize(
             exchanges / len(phase_sessions) if phase_sessions else None
         )
 
+    # Strategy dynamics: the full trajectory (warmup included — the
+    # transient is the interesting part) plus settled-regime scalars.
+    epochs = sorted(collector.strategy_epochs, key=lambda r: (r.time, r.epoch))
+    sharing_by_epoch = [[record.time, record.sharing_fraction] for record in epochs]
+    equilibrium_fraction: Optional[float] = None
+    final_fraction: Optional[float] = None
+    if epochs:
+        tail = epochs[-max(1, len(epochs) // 4):]
+        equilibrium_fraction = _mean([record.sharing_fraction for record in tail])
+        final_fraction = epochs[-1].sharing_fraction
+    # Counters rather than epoch records: scenario StrategyShock flips
+    # switch peers outside any revision epoch and must still count.
+    switches = (
+        collector.counters["strategy.switch_to_sharing"]
+        + collector.counters["strategy.switch_to_freeloading"]
+    )
+
     mean_sharer = _mean(sharer_times)
     mean_freeloader = _mean(freeloader_times)
     mean_all = _mean(all_times)
@@ -226,5 +255,9 @@ def summarize(
         mean_download_time_min_by_phase=mean_by_phase,
         completed_downloads_by_phase=completed_by_phase,
         exchange_session_fraction_by_phase=exchange_fraction_by_phase,
+        sharing_fraction_by_epoch=sharing_by_epoch,
+        equilibrium_sharing_fraction=equilibrium_fraction,
+        final_sharing_fraction=final_fraction,
+        strategy_switches=switches,
         counters=dict(collector.counters),
     )

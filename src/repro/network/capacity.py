@@ -29,10 +29,12 @@ class SlotPool:
 
     @property
     def free(self) -> int:
+        """Slots currently available (0 while over-subscribed)."""
         return max(0, self.total - self.in_use)
 
     @property
     def full(self) -> bool:
+        """Whether no further slot can be acquired."""
         return self.in_use >= self.total
 
     def acquire(self) -> None:

@@ -68,10 +68,12 @@ class DownloadState:
     # ------------------------------------------------------------------
     @property
     def in_flight_blocks(self) -> int:
+        """Blocks currently assigned to a transfer but not yet delivered."""
         return self.total_blocks - self.delivered_blocks - self.unassigned_blocks
 
     @property
     def remaining_blocks(self) -> int:
+        """Blocks still missing (in flight or unassigned)."""
         return self.total_blocks - self.delivered_blocks
 
     def take_block(self) -> bool:
@@ -111,6 +113,7 @@ class DownloadState:
     # transfer bookkeeping
     # ------------------------------------------------------------------
     def attach_transfer(self, transfer: "Transfer") -> None:
+        """Register a serving transfer (one per provider, enforced)."""
         provider_id = transfer.provider.peer_id
         if provider_id in self.transfers:
             raise ProtocolError(
@@ -123,6 +126,7 @@ class DownloadState:
         self.epoch += 1
 
     def detach_transfer(self, transfer: "Transfer") -> None:
+        """Remove a previously attached transfer (termination path)."""
         provider_id = transfer.provider.peer_id
         if self.transfers.get(provider_id) is not transfer:
             raise ProtocolError(
@@ -145,6 +149,7 @@ class DownloadState:
         self.epoch += 1
 
     def transfer_from(self, provider_id: int) -> Optional["Transfer"]:
+        """The transfer served by ``provider_id``, or None."""
         return self.transfers.get(provider_id)
 
     @property
@@ -158,6 +163,7 @@ class DownloadState:
 
     @property
     def active_sources(self) -> int:
+        """How many providers currently serve this download."""
         return len(self.transfers)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

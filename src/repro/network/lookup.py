@@ -68,12 +68,14 @@ class LookupService:
     # index maintenance (called by sharing peers on store/evict)
     # ------------------------------------------------------------------
     def register(self, peer_id: int, object_id: int) -> None:
+        """Add ``peer_id`` as a provider of ``object_id`` (publish)."""
         self._providers.setdefault(object_id, set()).add(peer_id)
         self._sorted.pop(object_id, None)
         self.version += 1
         self._versions[object_id] = self._versions.get(object_id, 0) + 1
 
     def unregister(self, peer_id: int, object_id: int) -> None:
+        """Withdraw one provider registration; unknown pairs raise."""
         providers = self._providers.get(object_id)
         if providers is None or peer_id not in providers:
             raise LookupError_(
@@ -87,6 +89,7 @@ class LookupService:
         self._versions[object_id] = self._versions.get(object_id, 0) + 1
 
     def unregister_all(self, peer_id: int, object_ids: List[int]) -> None:
+        """Withdraw one peer's registrations for all ``object_ids``."""
         for object_id in object_ids:
             self.unregister(peer_id, object_id)
 
@@ -109,6 +112,7 @@ class LookupService:
         return set(live)
 
     def provider_count(self, object_id: int) -> int:
+        """Number of live providers of ``object_id`` (0 if unlocatable)."""
         return len(self._providers.get(object_id, ()))
 
     def object_version(self, object_id: int) -> int:
@@ -153,6 +157,7 @@ class LookupService:
         return rand.sample(candidates, int(min(len(candidates), count)))
 
     def objects_indexed(self) -> int:
+        """How many distinct objects currently have a provider."""
         return len(self._providers)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

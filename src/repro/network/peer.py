@@ -28,7 +28,7 @@ from repro.core.policies import ExchangePolicy
 from repro.core.request_tree import build_snapshot
 from repro.errors import ProtocolError
 from repro.metrics.records import DownloadRecord, TerminationReason
-from repro.network.behaviors import PeerBehavior
+from repro.network.behaviors import FREELOADER, SHARER, PeerBehavior
 from repro.network.capacity import SlotPool
 from repro.network.download import DownloadState
 
@@ -134,9 +134,11 @@ class Peer:
 
     @property
     def exchange_upload_count(self) -> int:
+        """Active uploads currently running at exchange priority."""
         return self._exchange_uploads
 
     def active_uploads(self) -> List["Transfer"]:
+        """Snapshot list of this peer's running upload transfers."""
         return list(self._uploads.values())
 
     def available_blocks(self, object_id: int) -> int:
@@ -155,12 +157,14 @@ class Peer:
         return 0
 
     def blocks_for_object(self, object_id: int) -> int:
+        """Total blocks of one object (memoized on the context)."""
         return self.ctx.blocks_for(object_id)
 
     # ------------------------------------------------------------------
     # workload
     # ------------------------------------------------------------------
     def attach_workload(self, workload: RequestGenerator) -> None:
+        """Wire the request generator that feeds ``fill_pending``."""
         self.workload = workload
 
     def fill_pending(self) -> int:
@@ -317,6 +321,23 @@ class Peer:
         # download that looks engaged is never re-looked-up — the
         # requester would stall on a dead registration even with live
         # alternative providers in the index.
+        self._drain_incoming_requests()
+        if self.behavior.shares:
+            for object_id in self.store.object_ids():
+                ctx.lookup.unregister(self.peer_id, object_id)
+        self.online = False
+        self.suspend_periodic()
+        ctx.metrics.count("churn.offline")
+
+    def _drain_incoming_requests(self) -> None:
+        """Withdraw every queued IRQ entry and notify its requester.
+
+        Shared by :meth:`disconnect` and :meth:`set_sharing`: whether
+        the peer went offline or merely stopped serving, a request left
+        in its queue would pin the requester to a provider that will
+        never serve it.
+        """
+        ctx = self.ctx
         for entry in list(self.irq.active_entries()):
             self.irq.remove(entry.requester_id, entry.object_id)
             requester = ctx.peer(entry.requester_id)
@@ -324,12 +345,6 @@ class Peer:
             if download is not None:
                 download.registered_at.discard(self.peer_id)
             requester.schedule_pass()
-        if self.behavior.shares:
-            for object_id in self.store.object_ids():
-                ctx.lookup.unregister(self.peer_id, object_id)
-        self.online = False
-        self.suspend_periodic()
-        ctx.metrics.count("churn.offline")
 
     def reconnect(self) -> None:
         """Come back online: re-publish the store and resume the
@@ -362,6 +377,44 @@ class Peer:
         if self.workload is not None:
             self.workload.set_profile(profile)
         self._workload_stalled_until = -math.inf
+
+    def set_sharing(self, share: bool) -> bool:
+        """Switch between sharing and free-riding at runtime.
+
+        The strategy layer's world mutation (see :mod:`repro.strategy`):
+        a convert to sharing republishes its store and starts accepting
+        requests from the next scheduling pass; a convert to free-riding
+        terminates its uploads (breaking any exchange rings it served
+        in), drains its request queue so requesters re-register at live
+        providers, and withdraws its store from the lookup index.
+        Pending *downloads* survive either way — the peer keeps
+        consuming, only its serving side changes.
+
+        Returns True when the behaviour actually changed.  While
+        offline only the behaviour flag flips (an offline peer is
+        already unpublished and drained); :meth:`reconnect` then
+        registers — or not — according to the new behaviour.
+        """
+        if self.behavior.shares == share:
+            return False
+        if share:
+            self.behavior = SHARER
+            if self.online:
+                for object_id in self.store.object_ids():
+                    self.ctx.lookup.register(self.peer_id, object_id)
+                # A fresh provider invalidates every idle-search gate
+                # conclusion this peer reached as a non-sharer.
+                self.idle_search_key = None
+                self.schedule_pass()
+        else:
+            self.behavior = FREELOADER
+            if self.online:
+                for transfer in self.active_uploads():
+                    transfer.terminate(TerminationReason.STOPPED_SHARING)
+                self._drain_incoming_requests()
+                for object_id in self.store.object_ids():
+                    self.ctx.lookup.unregister(self.peer_id, object_id)
+        return True
 
     def set_policy(self, policy: ExchangePolicy) -> None:
         """Adopt a new exchange mechanism mid-run (adoption ramps).
@@ -397,6 +450,7 @@ class Peer:
     # periodic processes (attached by the simulation assembly)
     # ------------------------------------------------------------------
     def attach_periodic(self, process: "PeriodicProcess") -> None:
+        """Track a scan/storage process so churn can pause it offline."""
         self.periodic_processes.append(process)
 
     def suspend_periodic(self) -> None:
@@ -592,6 +646,7 @@ class Peer:
     # upload registry (maintained by Transfer)
     # ------------------------------------------------------------------
     def register_upload(self, transfer: "Transfer") -> None:
+        """Record a started upload (one per requester/object edge)."""
         key = (transfer.requester.peer_id, transfer.object.object_id)
         if key in self._uploads:
             raise ProtocolError(
@@ -602,6 +657,7 @@ class Peer:
             self._exchange_uploads += 1
 
     def unregister_upload(self, transfer: "Transfer") -> None:
+        """Drop a terminated upload from the registry."""
         key = (transfer.requester.peer_id, transfer.object.object_id)
         if self._uploads.get(key) is not transfer:
             raise ProtocolError(

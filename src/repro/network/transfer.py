@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
 
 
 class TransferState(enum.Enum):
+    """Lifecycle of a transfer: created -> active -> terminated."""
     CREATED = "created"
     ACTIVE = "active"
     TERMINATED = "terminated"
@@ -81,14 +82,17 @@ class Transfer:
     # ------------------------------------------------------------------
     @property
     def is_exchange(self) -> bool:
+        """Whether this session belongs to an exchange ring."""
         return self.ring is not None
 
     @property
     def active(self) -> bool:
+        """Whether the session is currently moving blocks."""
         return self.state is TransferState.ACTIVE
 
     @property
     def traffic_class(self) -> TrafficClass:
+        """The session's :class:`TrafficClass` (by ring size)."""
         return TrafficClass.for_ring_size(self.ring_size)
 
     # ------------------------------------------------------------------
@@ -216,6 +220,7 @@ class Transfer:
         TerminationReason.REQUESTER_CANCELLED,
         TerminationReason.SOURCE_DELETED,
         TerminationReason.PEER_OFFLINE,
+        TerminationReason.STOPPED_SHARING,
         TerminationReason.CHEAT_DETECTED,
     )
 

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.network.behaviors import FREELOADER, SHARER, PeerBehavior
+from repro.strategy import STATIC, StrategySpec
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.config import SimulationConfig
@@ -70,6 +71,12 @@ class PeerClassSpec:
     storage_max_objects: Optional[int] = None
     categories_per_peer_min: Optional[int] = None
     categories_per_peer_max: Optional[int] = None
+    #: How this class revises its sharing strategy at runtime (see
+    #: :mod:`repro.strategy`).  ``None`` inherits the global
+    #: :attr:`~repro.config.SimulationConfig.strategy` (itself static
+    #: by default), so pre-strategy configs never revise.  The class's
+    #: ``behavior`` is the *initial condition* of the dynamics.
+    strategy: Optional[StrategySpec] = None
 
     def validate(self) -> None:
         """Spec-local checks (cross-class checks live in resolution)."""
@@ -107,6 +114,13 @@ class PeerClassSpec:
             from repro.core.policies import parse_mechanism
 
             parse_mechanism(self.exchange_mechanism)
+        if self.strategy is not None:
+            if not isinstance(self.strategy, StrategySpec):
+                raise ConfigError(
+                    f"peer class {self.name!r} strategy must be a "
+                    f"StrategySpec, got {type(self.strategy).__name__}"
+                )
+            self.strategy.validate()
 
 
 @dataclass(frozen=True)
@@ -124,8 +138,10 @@ class ResolvedPeerClass:
     storage_max_objects: int
     categories_per_peer_min: int
     categories_per_peer_max: int
+    strategy: StrategySpec = STATIC
 
     def validate(self, slot_kbit: float) -> None:
+        """Check the concrete per-class values against the slot geometry."""
         if self.upload_capacity_kbit < slot_kbit:
             raise ConfigError(
                 f"peer class {self.name!r}: upload capacity smaller than one "
@@ -190,6 +206,7 @@ def _resolve_one(spec: PeerClassSpec, count: int, config: "SimulationConfig") ->
         categories_per_peer_max=inherit(
             spec.categories_per_peer_max, config.categories_per_peer_max
         ),
+        strategy=inherit(spec.strategy, inherit(config.strategy, STATIC)),
     )
 
 

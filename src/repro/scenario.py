@@ -41,6 +41,10 @@ motivation each models:
   holdouts turn on n-way exchanges at time t).
 * :class:`CapacityChange` — every peer of a class is re-provisioned to
   new link capacities (an access-network upgrade or degradation).
+* :class:`StrategyShock` — perturb the adaptive strategy dynamics of
+  :mod:`repro.strategy`: forcibly flip a fraction of the revising peers
+  and/or bias the perceived sharing payoff for a while (equilibrium
+  stability probes in the style of the game-theoretic related work).
 
 An **empty scenario is the closed system, bit-for-bit**: no events are
 scheduled, no RNG stream is touched, and a ``scenario=()`` run replays
@@ -170,6 +174,27 @@ class CapacityChange:
     kind: str = field(default="capacity_change", init=False)
 
 
+@dataclass(frozen=True)
+class StrategyShock:
+    """Perturb the strategy dynamics mid-run (see :mod:`repro.strategy`).
+
+    ``flip_fraction`` forcibly flips that fraction of the
+    strategy-enrolled peers between sharing and free-riding at ``time``
+    (a stability probe: does the population return to its equilibrium?).
+    ``payoff_bias`` is added to the sharing side of every best-response
+    comparison for ``duration`` seconds (a perceived-payoff shock — a
+    subsidy when positive, a sharing scare when negative).  Requires at
+    least one strategy-enabled peer class; a fully static population
+    has no dynamics to shock and fails validation.
+    """
+
+    time: float
+    flip_fraction: float = 0.0
+    payoff_bias: float = 0.0
+    duration: float = 0.0
+    kind: str = field(default="strategy_shock", init=False)
+
+
 #: Every concrete scenario event type (isinstance checks, docs, tests).
 EVENT_TYPES = (
     Phase,
@@ -179,6 +204,7 @@ EVENT_TYPES = (
     DemandShift,
     MechanismRamp,
     CapacityChange,
+    StrategyShock,
 )
 
 ScenarioEvent = Union[
@@ -189,6 +215,7 @@ ScenarioEvent = Union[
     DemandShift,
     MechanismRamp,
     CapacityChange,
+    StrategyShock,
 ]
 
 ScenarioSpec = Tuple[ScenarioEvent, ...]
@@ -217,6 +244,21 @@ def ordered_events(events) -> list:
     Returns ``(declaration_index, event)`` pairs.
     """
     return sorted(enumerate(events), key=lambda pair: (pair[1].time, pair[0]))
+
+
+def _has_strategy_dynamics(config: "SimulationConfig") -> bool:
+    """Whether any runtime-addressable class revises its strategy."""
+    if any(not cls.strategy.is_static for cls in config.resolved_population()):
+        return True
+    global_strategy = config.strategy
+    for event in config.scenario:
+        if isinstance(event, PeerArrival) and event.spec is not None:
+            spec = event.spec.strategy
+            if spec is None:
+                spec = global_strategy
+            if spec is not None and not spec.is_static:
+                return True
+    return False
 
 
 def validate_scenario(config: "SimulationConfig") -> None:
@@ -319,6 +361,34 @@ def validate_scenario(config: "SimulationConfig") -> None:
                         f"capacity change for {event.class_name!r} below one "
                         f"slot ({value} < {config.slot_kbit})"
                     )
+        elif isinstance(event, StrategyShock):
+            if not 0.0 <= event.flip_fraction <= 1.0:
+                raise ConfigError(
+                    f"flip_fraction must be in [0,1], got {event.flip_fraction}"
+                )
+            if not math.isfinite(event.payoff_bias):
+                raise ConfigError(
+                    f"payoff_bias must be finite, got {event.payoff_bias}"
+                )
+            if not (event.duration >= 0 and math.isfinite(event.duration)):
+                raise ConfigError(
+                    f"shock duration must be >= 0 and finite, got {event.duration}"
+                )
+            if event.flip_fraction == 0.0 and event.payoff_bias == 0.0:
+                raise ConfigError(
+                    f"strategy shock at t={event.time:g} changes nothing "
+                    "(flip_fraction and payoff_bias both zero)"
+                )
+            if event.payoff_bias != 0.0 and event.duration == 0.0:
+                raise ConfigError(
+                    "strategy shock payoff_bias needs a positive duration"
+                )
+            if not _has_strategy_dynamics(config):
+                raise ConfigError(
+                    f"strategy shock at t={event.time:g} targets a fully "
+                    "static population; give some class (or the global "
+                    "config) a non-static StrategySpec"
+                )
 
     # A *named* arrival needs a concrete class shape at fire time, so
     # its class must be a population class or a spec class whose
@@ -387,6 +457,8 @@ class ScenarioDirector:
             self._apply_mechanism_ramp(event)
         elif isinstance(event, CapacityChange):
             self._apply_capacity_change(event)
+        elif isinstance(event, StrategyShock):
+            self._apply_strategy_shock(event)
         else:  # pragma: no cover - validate_scenario rejects these
             raise ConfigError(f"unknown scenario event {event!r}")
 
@@ -495,6 +567,16 @@ class ScenarioDirector:
         self.sim.note_class_override(
             event.class_name, exchange_mechanism=event.exchange_mechanism
         )
+
+    def _apply_strategy_shock(self, event: StrategyShock) -> None:
+        # Validation guarantees some class is strategy-enabled, but the
+        # first enrollment may still be ahead (an arrival-spec class
+        # whose wave lands later); the shock then has nobody to touch.
+        director = self.sim.strategy
+        if director is None:
+            self.ctx.metrics.count("scenario.strategy_shock_noop")
+            return
+        director.apply_shock(event)
 
     def _apply_capacity_change(self, event: CapacityChange) -> None:
         for peer_id in self._alive_peer_ids(event.class_name):

@@ -28,11 +28,13 @@ class LocalBlacklist:
         self.refusals = 0
 
     def report(self, peer_id: int) -> None:
+        """Ban a peer locally (self-bans are protocol errors)."""
         if peer_id == self.owner_id:
             raise ProtocolError(f"peer {peer_id} cannot blacklist itself")
         self._banned.add(peer_id)
 
     def allows(self, peer_id: int) -> bool:
+        """Whether the peer may be served; refused lookups are counted."""
         if peer_id in self._banned:
             self.refusals += 1
             return False
@@ -60,21 +62,25 @@ class CooperativeBlacklist:
         self.refusals = 0
 
     def report(self, reporter_id: int, peer_id: int) -> None:
+        """File one reporter's complaint against ``peer_id``."""
         if reporter_id == peer_id:
             raise ProtocolError("self-reports are ignored by design")
         self._reports.setdefault(peer_id, set()).add(reporter_id)
 
     def is_banned(self, peer_id: int) -> bool:
+        """Whether distinct complaints reached the ban threshold."""
         reports = self._reports.get(peer_id)
         return reports is not None and len(reports) >= self.report_threshold
 
     def allows(self, peer_id: int) -> bool:
+        """Whether the peer may be served; refused lookups are counted."""
         if self.is_banned(peer_id):
             self.refusals += 1
             return False
         return True
 
     def reporters_of(self, peer_id: int) -> Set[int]:
+        """The distinct reporters that complained about ``peer_id``."""
         return set(self._reports.get(peer_id, set()))
 
 

@@ -67,6 +67,7 @@ class BlockValidator:
         self.valid_accepted = 0
 
     def validate(self, block: Block) -> bool:
+        """Check one block against the trusted digest; counts the outcome."""
         if block.index < 0:
             raise ProtocolError(f"invalid block index {block.index}")
         self.blocks_checked += 1

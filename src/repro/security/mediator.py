@@ -70,6 +70,7 @@ class Mediator:
         return session_id
 
     def record_block(self, session_id: int, block: EncryptedBlock) -> None:
+        """Buffer one encrypted block on its sender's side of the session."""
         session = self._sessions.get(session_id)
         if session is None:
             raise ProtocolError(f"unknown session {session_id}")
@@ -129,6 +130,7 @@ class MediatedExchange:
 
     def transfer(self, sender_id: int, origin_id: int, object_id: int,
                  blocks: int, valid: bool = True) -> List[EncryptedBlock]:
+        """Send ``blocks`` encrypted blocks from one side through the mediator."""
         sent = []
         for index in range(blocks):
             block = EncryptedBlock(
@@ -143,4 +145,5 @@ class MediatedExchange:
         return sent
 
     def settle(self) -> Dict[int, Set[int]]:
+        """Complete the exchange: both sides' keys are released atomically."""
         return self.mediator.complete_exchange(self.session_id)

@@ -32,6 +32,7 @@ class MiddlemanOutcome:
 
     @property
     def attack_succeeded(self) -> bool:
+        """Whether the middleman could read any relayed content."""
         return self.middleman_readable > 0
 
 

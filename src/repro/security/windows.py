@@ -109,6 +109,7 @@ class WindowedExchange:
 
     @property
     def total_rounds(self) -> int:
+        """How many windowed rounds the exchange ran."""
         return len(self.rounds)
 
     def maximum_cheater_haul(self) -> int:

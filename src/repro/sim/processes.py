@@ -57,14 +57,17 @@ class PeriodicProcess:
 
     @property
     def stopped(self) -> bool:
+        """Whether the process was stopped for good."""
         return self._stopped
 
     @property
     def paused(self) -> bool:
+        """Whether the process is paused (resumable, nothing scheduled)."""
         return self._paused
 
     @property
     def interval(self) -> float:
+        """Seconds between firings."""
         return self._interval
 
     def stop(self) -> None:

@@ -54,19 +54,23 @@ class RandomSource:
         return self.stream(stream).randint(low, high)
 
     def choice(self, items: Sequence[T], stream: str = "default") -> T:
+        """One uniformly drawn element of ``items``."""
         if not items:
             raise ValueError("cannot choose from an empty sequence")
         return self.stream(stream).choice(items)
 
     def sample(self, items: Sequence[T], k: int, stream: str = "default") -> List[T]:
+        """``k`` distinct elements drawn without replacement."""
         return self.stream(stream).sample(items, k)
 
     def shuffled(self, items: Iterable[T], stream: str = "default") -> List[T]:
+        """A shuffled copy of ``items`` (the input is untouched)."""
         result = list(items)
         self.stream(stream).shuffle(result)
         return result
 
     def random(self, stream: str = "default") -> float:
+        """One uniform float in [0, 1)."""
         return self.stream(stream).random()
 
     def weighted_index(self, weights: Sequence[float], stream: str = "default") -> int:

@@ -55,6 +55,7 @@ from repro.population import (
 )
 from repro.scenario import ScenarioDirector
 from repro.sim.processes import PeriodicProcess
+from repro.strategy import StrategyDirector
 
 
 @dataclass
@@ -84,6 +85,7 @@ class FileSharingSimulation:
         self.population = config.resolved_population()
         self.churn = None  # set by build() when churn is enabled
         self.scenario = None  # set by build() when the scenario is non-empty
+        self.strategy = None  # set lazily when some class revises its strategy
         self._built = False
         self._ran = False
         self._processes: List[PeriodicProcess] = []
@@ -167,11 +169,44 @@ class FileSharingSimulation:
         return resolved
 
     def policy_for(self, mechanism: str) -> ExchangePolicy:
+        """The shared :class:`ExchangePolicy` instance for one mechanism
+        string (one instance per mechanism for the whole run)."""
         policy = self._policies.get(mechanism)
         if policy is None:
             policy = parse_mechanism(mechanism)
             self._policies[mechanism] = policy
         return policy
+
+    def _ensure_strategy_director(self) -> StrategyDirector:
+        """The strategy director, created on first demand.
+
+        Lazy because an arrival-spec class may be the first (or only)
+        strategy-enabled class — the director then comes to life with
+        the wave that needs it.  Creation order does not affect
+        determinism: the ``"strategy"`` RNG stream is derived from its
+        name, independently of every other stream.
+        """
+        if self.strategy is None:
+            self.strategy = StrategyDirector(self)
+        return self.strategy
+
+    def register_process(self, process: PeriodicProcess) -> None:
+        """Track a periodic process so :meth:`run` stops it at the end."""
+        self._processes.append(process)
+
+    def note_behavior_change(self, peer: Peer) -> None:
+        """Live sharer/freeloader accounting after a strategy switch.
+
+        Class sizes are untouched — the peer stays in its population
+        class; only the behaviour-derived split (used to normalize
+        per-peer volumes) moves.
+        """
+        if peer.behavior.shares:
+            self._num_sharers += 1
+            self._num_freeloaders -= 1
+        else:
+            self._num_sharers -= 1
+            self._num_freeloaders += 1
 
     # ------------------------------------------------------------------
     def build(self) -> SimContext:
@@ -231,6 +266,16 @@ class FileSharingSimulation:
         # empty scenario constructs nothing and consumes nothing.
         if config.scenario:
             self.scenario = ScenarioDirector(self)
+        # The strategy director comes *after* the scenario director so
+        # build-scheduled scenario events carry smaller engine sequence
+        # numbers than any revision epoch: at equal timestamps, scenario
+        # events (phases, shocks) always apply before revisions.  A
+        # fully static population constructs nothing and consumes
+        # nothing (bit-identical to pre-strategy builds).
+        if any(not cls.strategy.is_static for cls in self.population):
+            director = self._ensure_strategy_director()
+            for peer_id in range(config.num_peers):
+                director.enroll(ctx.peers[peer_id], class_of[peer_id].strategy)
         return ctx
 
     # ------------------------------------------------------------------
@@ -357,6 +402,8 @@ class FileSharingSimulation:
             self._num_freeloaders += 1
         if self.churn is not None:
             self.churn.enroll(peer)
+        if not peer_class.strategy.is_static:
+            self._ensure_strategy_director().enroll(peer, peer_class.strategy)
         self.ctx.metrics.count("scenario.peer_joined")
         return peer
 

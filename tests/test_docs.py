@@ -1,0 +1,56 @@
+"""Documentation integrity: pages exist, are linked, and links resolve.
+
+The docs CI job runs the same link checker plus every example script;
+this test keeps the cheap structural half inside tier-1 so broken doc
+links fail locally too, not only in CI.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
+from check_doc_links import broken_links  # noqa: E402
+
+
+def _doc_files():
+    paths = [os.path.join(REPO_ROOT, "README.md")]
+    paths.extend(sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))))
+    return paths
+
+
+def test_doc_pages_exist():
+    for name in ("ARCHITECTURE.md", "PAPER_MAPPING.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", name)), name
+
+
+def test_readme_links_the_doc_pages():
+    with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as handle:
+        readme = handle.read()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/PAPER_MAPPING.md" in readme
+
+
+def test_all_relative_links_resolve():
+    files = _doc_files()
+    assert len(files) >= 3  # README + the two docs pages
+    problems = broken_links(files)
+    assert not problems, "broken doc links:\n" + "\n".join(
+        f"{path}:{line}: {target}" for path, line, target in problems
+    )
+
+
+def test_every_example_is_runnable_python():
+    """Cheap syntax gate; CI executes the examples for real."""
+    import ast
+
+    examples = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.py")))
+    assert examples
+    assert any(path.endswith("strategy_evolution.py") for path in examples)
+    for path in examples:
+        with open(path, encoding="utf-8") as handle:
+            ast.parse(handle.read(), filename=path)

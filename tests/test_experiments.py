@@ -76,9 +76,9 @@ class TestSeriesTable:
 class TestFigureRegistry:
     def test_all_figures_registered(self):
         assert sorted(FIGURES) == [
-            "adoption", "fig10", "fig11", "fig12", "fig4", "fig5",
-            "fig6", "fig7", "fig8", "fig9", "flashcrowd", "swarm-growth",
-            "tiers",
+            "adoption", "evolution", "fig10", "fig11", "fig12", "fig4",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "flashcrowd",
+            "swarm-growth", "tiers",
         ]
 
     def test_unknown_figure_rejected(self):

@@ -94,9 +94,9 @@ class TestFingerprint:
         assert len(fingerprints) == 3
 
     def test_scenario_cache_schema_bumped(self, tmp_path):
-        """Entries written before the scenario engine (schema <= 2) are
-        misses; the current stamp covers scenario-bearing summaries."""
-        assert orchestrator.CACHE_SCHEMA_VERSION == 3
+        """Entries written before the strategy layer (schema <= 3) are
+        misses; the current stamp covers strategy-bearing summaries."""
+        assert orchestrator.CACHE_SCHEMA_VERSION == 4
         cache = ResultCache(str(tmp_path))
         plain = tiny_config()
         cache.store(plain, fake_summary())

@@ -1,0 +1,176 @@
+"""``repro-lint``: the command-line front end of simlint.
+
+Usage::
+
+    repro-lint src/repro                      # text report, exit 1 on findings
+    repro-lint --format json src/repro        # machine-readable findings
+    repro-lint --select RNG001,DET003 src     # subset of rules
+    repro-lint --baseline simlint.json src    # subtract accepted findings
+    repro-lint --write-baseline simlint.json src   # snapshot current findings
+    repro-lint --list-rules                   # rule pack documentation
+
+Exit codes are CI-friendly: ``0`` clean, ``1`` findings, ``2`` usage or
+internal error — the same contract as ruff/mypy, so the static-analysis
+job can chain the three tools with plain shell ``&&``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.framework import (
+    RULE_REGISTRY,
+    LintReport,
+    Rule,
+    baseline_payload,
+    default_rules,
+    load_baseline,
+    run_lint,
+)
+
+# Import for the registration side effect: the rule pack populates
+# RULE_REGISTRY when this module is first loaded.
+import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+#: Exit codes (mirrors ruff: 0 clean, 1 findings, 2 tool/usage error).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-lint argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & invariant analyzer for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src/repro)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of accepted findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the surviving findings to FILE as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with its rationale and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    if spec is None:
+        return default_rules()
+    rules: List[Rule] = []
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        if name not in RULE_REGISTRY:
+            raise KeyError(name)
+        rules.append(RULE_REGISTRY[name]())
+    if not rules:
+        raise KeyError(spec)
+    return rules
+
+
+def _print_rules() -> None:
+    for name in sorted(RULE_REGISTRY):
+        rule = RULE_REGISTRY[name]
+        print(f"{name}: {rule.summary}")
+        if rule.rationale:
+            print(f"    {rule.rationale}")
+
+
+def _render(report: LintReport, fmt: str) -> None:
+    if fmt == "json":
+        payload = {
+            "files_checked": report.files_checked,
+            "findings": [finding.to_dict() for finding in report.findings],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    for finding in report.findings:
+        print(finding.render())
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    print(
+        f"repro-lint: {len(report.findings)} {noun} "
+        f"in {report.files_checked} file(s)"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return EXIT_ERROR
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        # A typo'd path must fail loudly: "0 findings in 0 file(s)"
+        # would let the CI gate pass without checking anything.
+        for path in missing:
+            print(f"repro-lint: error: no such file or directory: {path}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        rules = _select_rules(args.select)
+    except KeyError as error:
+        print(
+            f"repro-lint: error: unknown rule {error.args[0]!r} "
+            f"(known: {', '.join(sorted(RULE_REGISTRY))})",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"repro-lint: error: bad baseline {args.baseline}: {error}", file=sys.stderr)
+            return EXIT_ERROR
+    try:
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except OSError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline_payload(report.findings), handle, indent=2)
+            handle.write("\n")
+        print(
+            f"repro-lint: wrote baseline with {len(report.findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    _render(report, args.format)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

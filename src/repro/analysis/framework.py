@@ -1,0 +1,444 @@
+"""Core machinery of ``simlint``: findings, modules, suppressions, runner.
+
+The framework is deliberately small and reusable: a :class:`Rule` is a
+class with a ``name`` and a ``check_module`` hook (plus an optional
+cross-module ``finalize`` hook), registered through
+:func:`register_rule`; :func:`run_lint` parses every target file once
+into a :class:`ParsedModule` and feeds it to every selected rule.  The
+AST helpers at the bottom (:func:`dotted_name`,
+:func:`walk_with_ancestors`, :func:`missing_docstrings`, ...) are shared
+with other consumers — ``tests/test_docstrings.py`` reuses them so the
+repo has exactly one AST toolkit.
+
+Suppressions
+------------
+A finding is silenced inline with::
+
+    some_code()  # simlint: disable=RULE1,RULE2 -- why this is safe
+
+The ``-- reason`` part is mandatory: an unexplained suppression is
+itself reported (rule ``SUP001``) because a bare "disable" comment is
+exactly the kind of convention rot this tool exists to prevent.  A
+suppression comment on its own line applies to the next code line;
+otherwise it applies to its own line (for multi-line statements, anchor
+the comment on the statement's first line, where the AST node starts).
+
+Baselines
+---------
+``run_lint`` optionally subtracts a JSON baseline (a list of
+``{rule, path, line}`` records) so the tool can be adopted on a codebase
+with pre-existing findings.  This repository's own baseline is empty by
+design — every finding is fixed or explicitly suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+#: Rule id used for malformed suppression comments (not suppressible).
+SUPPRESSION_RULE = "SUP001"
+#: Rule id used for files that fail to parse (not suppressible).
+SYNTAX_RULE = "SYN001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (used by ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Human-readable one-liner, ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# simlint: disable=...`` comment."""
+
+    line: int  #: line the suppression *applies to* (not necessarily its own)
+    rules: Tuple[str, ...]
+    reason: str
+
+
+class ParsedModule:
+    """One source file: path, text, AST, and its inline suppressions."""
+
+    def __init__(self, path: str, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        #: applies-to line -> suppression
+        self.suppressions: Dict[int, Suppression] = {}
+        #: malformed-suppression findings discovered while parsing comments
+        self.meta_findings: List[Finding] = []
+        self._parse_suppressions()
+
+    def _iter_comments(self) -> Iterator[Tuple[int, int, str]]:
+        """``(line, col, text)`` for every real comment token.
+
+        Tokenizing (rather than scanning raw lines) keeps suppression
+        syntax inside string literals — docstrings documenting the
+        feature, for instance — from being parsed as suppressions.
+        """
+        reader = io.StringIO(self.source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.start[1], token.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+
+    def _parse_suppressions(self) -> None:
+        for lineno, col_offset, text in self._iter_comments():
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                if "simlint:" in text and "disable" in text:
+                    self.meta_findings.append(
+                        Finding(
+                            SUPPRESSION_RULE,
+                            self.display_path,
+                            lineno,
+                            col_offset + 1,
+                            "unparseable simlint suppression comment "
+                            "(expected '# simlint: disable=RULE -- reason')",
+                        )
+                    )
+                continue
+            rules = tuple(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            reason = (match.group("reason") or "").strip()
+            col = col_offset + match.start() + 1
+            if not rules:
+                self.meta_findings.append(
+                    Finding(
+                        SUPPRESSION_RULE,
+                        self.display_path,
+                        lineno,
+                        col,
+                        "suppression names no rules",
+                    )
+                )
+                continue
+            if not reason:
+                self.meta_findings.append(
+                    Finding(
+                        SUPPRESSION_RULE,
+                        self.display_path,
+                        lineno,
+                        col,
+                        "suppression without a reason — append ' -- why this is safe' "
+                        f"(rules: {', '.join(rules)})",
+                    )
+                )
+                continue
+            # A comment alone on its line shields the next line; a
+            # trailing comment shields its own.
+            code_before = self.lines[lineno - 1][:col_offset].strip()
+            applies_to = lineno if code_before else lineno + 1
+            self.suppressions[applies_to] = Suppression(applies_to, rules, reason)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is inline-suppressed for findings on ``line``."""
+        suppression = self.suppressions.get(line)
+        return suppression is not None and rule in suppression.rules
+
+
+@dataclass
+class Project:
+    """Every parsed module of one lint run, for cross-module rules."""
+
+    modules: List[ParsedModule] = field(default_factory=list)
+
+    def module_by_path(self, display_path: str) -> Optional[ParsedModule]:
+        """The module whose display path matches, or None."""
+        for module in self.modules:
+            if module.display_path == display_path:
+                return module
+        return None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name`` / ``summary`` / ``rationale`` and override
+    :meth:`check_module` (per-file findings) and/or :meth:`finalize`
+    (cross-module findings, called once after every file was checked).
+    Rules are instantiated fresh for each run, so instance attributes
+    are safe scratch space for cross-module state.
+    """
+
+    name: str = "RULE"
+    summary: str = ""
+    rationale: str = ""
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        """Findings local to one module (default: none)."""
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        """Cross-module findings after every module was seen (default: none)."""
+        return ()
+
+
+#: Global registry: rule name -> rule class.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.name or cls.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate or empty rule name: {cls.name!r}")
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in name order."""
+    return [RULE_REGISTRY[name]() for name in sorted(RULE_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# file collection / parsing
+# ----------------------------------------------------------------------
+def iter_python_files(root: str) -> List[str]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself), sorted.
+
+    ``__pycache__`` directories are skipped.  A single-file root is
+    returned as-is so the CLI accepts files and directories alike.
+    """
+    if os.path.isfile(root):
+        return [root]
+    paths: List[str] = []
+    for directory, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                paths.append(os.path.join(directory, name))
+    return sorted(paths)
+
+
+def parse_module(path: str, display_path: Optional[str] = None) -> ParsedModule:
+    """Read and parse one file into a :class:`ParsedModule`."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return ParsedModule(path, display_path or _display_path(path), source)
+
+
+def _display_path(path: str) -> str:
+    rel = os.path.relpath(path)
+    # Stay stable across platforms so baselines and test expectations
+    # never depend on the host's separator.
+    return rel.replace(os.sep, "/")
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> Set[Tuple[str, str, int]]:
+    """``(rule, path, line)`` triples accepted by the baseline file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    records = data["findings"] if isinstance(data, dict) else data
+    accepted: Set[Tuple[str, str, int]] = set()
+    for record in records:
+        accepted.add((record["rule"], record["path"], int(record["line"])))
+    return accepted
+
+
+def baseline_payload(findings: Sequence[Finding]) -> Dict[str, object]:
+    """JSON structure for ``--write-baseline``."""
+    return {
+        "version": 1,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "line": f.line} for f in findings
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Outcome of one :func:`run_lint` call."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        """True when no findings survived suppression and baseline."""
+        return not self.findings
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Set[Tuple[str, str, int]]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the given rules.
+
+    Suppressed findings are dropped (malformed suppressions are
+    reported instead and cannot themselves be suppressed); baseline
+    matches are dropped last, so a baseline can also grandfather a
+    malformed suppression during adoption.
+    """
+    if rules is None:
+        rules = default_rules()
+    project = Project()
+    findings: List[Finding] = []
+    for root in paths:
+        for file_path in iter_python_files(root):
+            try:
+                module = parse_module(file_path)
+            except SyntaxError as error:
+                findings.append(
+                    Finding(
+                        SYNTAX_RULE,
+                        _display_path(file_path),
+                        error.lineno or 1,
+                        (error.offset or 0) + 1,
+                        f"syntax error: {error.msg}",
+                    )
+                )
+                continue
+            project.modules.append(module)
+            findings.extend(module.meta_findings)
+            for rule in rules:
+                for finding in rule.check_module(module):
+                    if not module.is_suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+    for rule in rules:
+        for finding in rule.finalize(project):
+            module = project.module_by_path(finding.path)
+            if module is not None and module.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    if baseline:
+        findings = [
+            f for f in findings if (f.rule, f.path, f.line) not in baseline
+        ]
+    findings.sort(key=lambda f: f.sort_key)
+    return LintReport(findings=findings, files_checked=len(project.modules))
+
+
+# ----------------------------------------------------------------------
+# shared AST utilities
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, or None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_with_ancestors(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Depth-first ``(node, ancestors)`` pairs; ancestors outermost-first."""
+    stack: List[Tuple[ast.AST, Tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + (node,)
+        # Reversed so iteration order matches source order despite the
+        # LIFO stack — rules then emit findings in file order.
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, child_ancestors))
+
+
+def annotation_names(node: Optional[ast.AST]) -> Set[str]:
+    """Every identifier referenced by an annotation expression.
+
+    String constants are treated as forward references and parsed
+    recursively, so ``Optional["StrategySpec"]`` still yields
+    ``StrategySpec``.  Unparseable strings contribute nothing.
+    """
+    names: Set[str] = set()
+    if node is None:
+        return names
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            try:
+                parsed = ast.parse(sub.value, mode="eval")
+            except SyntaxError:
+                continue
+            for inner in ast.walk(parsed):
+                if isinstance(inner, ast.Name):
+                    names.add(inner.id)
+    return names
+
+
+# ----------------------------------------------------------------------
+# docstring audit (shared with tests/test_docstrings.py)
+# ----------------------------------------------------------------------
+def missing_docstrings(tree: ast.Module) -> List[Tuple[int, str]]:
+    """``(line, label)`` for every public definition without a docstring.
+
+    Mirrors ruff's D100-D104/D106 scope: the module itself, public
+    classes (including nested ones), and public functions/methods.
+    Private (``_``-prefixed) functions and magic/``__init__`` methods
+    are out of scope, matching the repo's lint configuration; private
+    classes are still walked because they can hold public methods.
+    """
+    missing: List[Tuple[int, str]] = []
+    if not ast.get_docstring(tree):
+        missing.append((1, "module"))
+
+    def walk(node: ast.AST, prefix: str = "") -> None:
+        for item in getattr(node, "body", []):
+            if isinstance(item, ast.ClassDef):
+                public = not item.name.startswith("_")
+                if public and not ast.get_docstring(item):
+                    missing.append((item.lineno, f"class {prefix}{item.name}"))
+                walk(item, prefix=f"{prefix}{item.name}.")
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if item.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(item):
+                    missing.append((item.lineno, f"def {prefix}{item.name}"))
+
+    walk(tree)
+    return missing

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
-from repro.population import PeerClassSpec
+from repro.population import PeerClassSpec, ResolvedPeerClass
 from repro.scenario import ScenarioEvent
 from repro.strategy import StrategySpec
 from repro.units import mb_to_kbit
@@ -293,7 +293,7 @@ class SimulationConfig:
 
         validate_scenario(self)
 
-    def resolved_population(self):
+    def resolved_population(self) -> Tuple[ResolvedPeerClass, ...]:
         """Concrete per-class rows (see :func:`repro.population.resolve_population`)."""
         from repro.population import resolve_population
 

@@ -20,9 +20,9 @@ that "only one will be initiated successfully".
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Set
 
-from repro.core.ring import ExchangeRing, edges_from_candidate
+from repro.core.ring import ExchangeRing, RingEdge, edges_from_candidate
 from repro.core.ring_search import find_candidates
 from repro.core.scheduler import preempt_for_exchange
 from repro.core.token_protocol import validate_ring
@@ -151,7 +151,7 @@ def try_form_exchanges(
     return formed
 
 
-def commit_ring(peer: "Peer", edges) -> ExchangeRing:
+def commit_ring(peer: "Peer", edges: Sequence[RingEdge]) -> ExchangeRing:
     """Commit a validated ring: replace/preempt slots and start transfers.
 
     Must run in the same event as :func:`~repro.core.token_protocol.validate_ring`

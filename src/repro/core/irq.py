@@ -268,7 +268,7 @@ class IncomingRequestQueue:
             raise ProtocolError(f"entry {entry!r} is not queued here")
         self.remove(entry.requester_id, entry.object_id)
 
-    def refresh_tree(self, entry: RequestEntry, tree) -> None:
+    def refresh_tree(self, entry: RequestEntry, tree: Optional[RequestTreeNode]) -> None:
         """Replace an entry's snapshot with a fresher one.
 
         Models the paper's incremental request-tree updates (§V) at

@@ -101,7 +101,7 @@ class ResultCache:
             names = os.listdir(self.root)
         except OSError:
             return
-        cutoff = time.time() - self.ORPHAN_MIN_AGE_SECONDS
+        cutoff = time.time() - self.ORPHAN_MIN_AGE_SECONDS  # simlint: disable=DET003 -- sanctioned: cache-orphan aging compares file mtimes, not sim state
         for name in names:
             if not name.endswith(".tmp"):
                 continue

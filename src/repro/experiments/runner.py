@@ -110,7 +110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Cells shared between figures still run once: with the cache on
     # (the default) later figures resume from the earlier ones' cells.
     for figure_id in figure_ids:
-        started = time.perf_counter()
+        started = time.perf_counter()  # simlint: disable=DET003 -- sanctioned: CLI progress timing, outside simulation state
         hits_before, misses_before = cache.hits, cache.misses
         table = run_figures(
             [figure_id],
@@ -121,7 +121,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache=cache,
             progress=progress,
         )[figure_id]
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # simlint: disable=DET003 -- sanctioned: CLI progress timing, outside simulation state
         rendered = table.render()
         print(rendered)
         print(

@@ -19,7 +19,7 @@ replays exactly.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import Event
@@ -38,7 +38,7 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: List[tuple] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._fired = 0
         self._cancelled_skipped = 0
@@ -101,7 +101,7 @@ class Engine:
                 f"before current time t={self._now:.6f}"
             )
         event = Event(time, self._seq, callback, name)
-        heapq.heappush(self._heap, (time, self._seq, event))
+        heapq.heappush(self._heap, (time, self._seq, event))  # simlint: disable=SCH001 -- this IS the seq-tie-break API every other push must go through
         self._seq += 1
         return event
 

@@ -24,7 +24,7 @@ def _doc_files():
 
 
 def test_doc_pages_exist():
-    for name in ("ARCHITECTURE.md", "PAPER_MAPPING.md"):
+    for name in ("ARCHITECTURE.md", "PAPER_MAPPING.md", "DETERMINISM.md"):
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", name)), name
 
 
@@ -33,6 +33,7 @@ def test_readme_links_the_doc_pages():
         readme = handle.read()
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/PAPER_MAPPING.md" in readme
+    assert "docs/DETERMINISM.md" in readme
 
 
 def test_all_relative_links_resolve():

@@ -1,9 +1,10 @@
 """Docstring audit for the public API surface of ``src/repro``.
 
 CI enforces the same contract through ruff's pydocstyle D1xx rules
-(see ``pyproject.toml``); this test mirrors those rules with a plain
-AST walk so the audit also runs wherever ruff is not installed — the
-docs cannot rot between lint environments.
+(see ``pyproject.toml``); this test mirrors those rules through the
+shared AST toolkit in :mod:`repro.analysis` — one visitor
+implementation, two consumers (ruff-less environments still audit the
+docs, and the lint framework's walker is exercised on the whole tree).
 
 Mirrored rules: D100 (module), D101 (public class), D102 (public
 method), D103 (public function), D104 (package ``__init__``), D106
@@ -13,56 +14,21 @@ methods) are deliberately out of scope, matching the lint config.
 
 from __future__ import annotations
 
-import ast
 import os
-from typing import List, Tuple
+
+from repro.analysis import iter_python_files, missing_docstrings, parse_module
 
 SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
 
 
-def _python_files(root: str) -> List[str]:
-    paths = []
-    for directory, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-        for name in sorted(filenames):
-            if name.endswith(".py"):
-                paths.append(os.path.join(directory, name))
-    return sorted(paths)
-
-
-def _missing_in(path: str) -> List[Tuple[int, str]]:
-    with open(path, encoding="utf-8") as handle:
-        tree = ast.parse(handle.read())
-    missing: List[Tuple[int, str]] = []
-    if not ast.get_docstring(tree):
-        missing.append((1, "module"))
-
-    def walk(node: ast.AST, prefix: str = "") -> None:
-        for item in getattr(node, "body", []):
-            if isinstance(item, ast.ClassDef):
-                public = not item.name.startswith("_")
-                if public and not ast.get_docstring(item):
-                    missing.append((item.lineno, f"class {prefix}{item.name}"))
-                # Private classes can still hold public methods; keep
-                # walking either way, like pydocstyle does.
-                walk(item, prefix=f"{prefix}{item.name}.")
-            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if item.name.startswith("_"):
-                    continue  # D105/D107 and private helpers: out of scope
-                if not ast.get_docstring(item):
-                    missing.append((item.lineno, f"def {prefix}{item.name}"))
-
-    walk(tree)
-    return missing
-
-
 def test_public_api_is_fully_docstringed():
-    files = _python_files(os.path.abspath(SRC_ROOT))
+    files = iter_python_files(os.path.abspath(SRC_ROOT))
     assert files, "src/repro not found — audit misconfigured"
     offenders = []
     for path in files:
-        for lineno, what in _missing_in(path):
-            offenders.append(f"{os.path.relpath(path)}:{lineno}: {what}")
+        module = parse_module(path)
+        for lineno, what in missing_docstrings(module.tree):
+            offenders.append(f"{module.display_path}:{lineno}: {what}")
     assert not offenders, (
         "public definitions without docstrings (ruff D1xx will fail too):\n  "
         + "\n  ".join(offenders)

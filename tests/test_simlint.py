@@ -1,0 +1,278 @@
+"""Framework-level tests for ``repro.analysis`` (simlint).
+
+Rule-specific fixture tests live in ``tests/test_simlint_rules.py``;
+this module covers the machinery every rule rides on: suppression
+parsing, baselines, file collection, the runner, and the CLI contract
+(output formats and exit codes) — including the "seeded violation"
+negative test that guarantees the CI static-analysis job actually fails
+when a determinism invariant is broken.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import (
+    RULE_REGISTRY,
+    Finding,
+    baseline_payload,
+    iter_python_files,
+    load_baseline,
+    parse_module,
+    run_lint,
+    walk_with_ancestors,
+)
+from repro.analysis.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from repro.analysis.framework import SUPPRESSION_RULE, SYNTAX_RULE
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+class TestSuppressionParsing:
+    def test_trailing_comment_shields_its_own_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+            t = time.time()  # simlint: disable=DET003 -- test exemption
+            """,
+        )
+        report = run_lint([path])
+        assert report.clean
+
+    def test_standalone_comment_shields_the_next_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+            # simlint: disable=DET003 -- test exemption
+            t = time.time()
+            """,
+        )
+        report = run_lint([path])
+        assert report.clean
+
+    def test_suppression_without_reason_is_reported(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+            t = time.time()  # simlint: disable=DET003
+            """,
+        )
+        report = run_lint([path])
+        rules = {f.rule for f in report.findings}
+        # The reasonless suppression is invalid, so it must not shield
+        # the wall-clock call either.
+        assert SUPPRESSION_RULE in rules
+        assert "DET003" in rules
+
+    def test_suppression_only_covers_named_rules(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+            t = time.time()  # simlint: disable=RNG001 -- wrong rule named
+            """,
+        )
+        report = run_lint([path])
+        assert [f.rule for f in report.findings] == ["DET003"]
+
+    def test_multiple_rules_in_one_comment(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time, heapq
+            x = heapq.heappush([], (time.time(), 1))  # simlint: disable=DET003,SCH001 -- test exemption
+            """,
+        )
+        report = run_lint([path])
+        assert report.clean
+
+    def test_suppression_inside_string_literal_is_ignored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            '''\
+            DOC = """
+            example:  code()  # simlint: disable=DET003 -- not a real comment
+            """
+            ''',
+        )
+        module = parse_module(path)
+        assert module.suppressions == {}
+        assert module.meta_findings == []
+
+
+class TestWalkWithAncestors:
+    def test_yields_source_order_with_outermost_first_ancestors(self):
+        import ast
+
+        tree = ast.parse("def outer():\n    def inner():\n        x = 1\n\ny = 2\n")
+        pairs = {
+            type(node).__name__: ancestors
+            for node, ancestors in walk_with_ancestors(tree)
+        }
+        assign_ancestors = [type(a).__name__ for a in pairs["Assign"]]
+        # 'y = 2' is visited last, so pairs["Assign"] holds its (module-only)
+        # chain; 'x = 1' earlier carried Module -> outer -> inner.
+        assert assign_ancestors == ["Module"]
+        names = [
+            node.name
+            for node, _ in walk_with_ancestors(tree)
+            if isinstance(node, ast.FunctionDef)
+        ]
+        assert names == ["outer", "inner"]  # depth-first, source order
+        inner_chain = next(
+            [type(a).__name__ for a in ancestors]
+            for node, ancestors in walk_with_ancestors(tree)
+            if isinstance(node, ast.FunctionDef) and node.name == "inner"
+        )
+        assert inner_chain == ["Module", "FunctionDef"]
+
+
+class TestRunner:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def f(:\n    pass\n")
+        report = run_lint([path])
+        assert [f.rule for f in report.findings] == [SYNTAX_RULE]
+
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        write(tmp_path, "pkg/a.py", "x = 1\n")
+        write(tmp_path, "pkg/__pycache__/junk.py", "x = 1\n")
+        files = iter_python_files(str(tmp_path))
+        assert [f for f in files if "__pycache__" in f] == []
+        assert len(files) == 1
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+            b = time.time()
+            a = hash("x")
+            """,
+        )
+        report = run_lint([path])
+        assert [f.line for f in report.findings] == [2, 3]
+
+    def test_rule_subset(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+            b = time.time()
+            a = hash("x")
+            """,
+        )
+        report = run_lint([path], rules=[RULE_REGISTRY["DET001"]()])
+        assert [f.rule for f in report.findings] == ["DET001"]
+
+
+class TestBaseline:
+    def test_baseline_roundtrip_subtracts_findings(self, tmp_path):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        report = run_lint([path])
+        assert not report.clean
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            json.dumps(baseline_payload(report.findings)), encoding="utf-8"
+        )
+        accepted = load_baseline(str(baseline_file))
+        assert run_lint([path], baseline=accepted).clean
+
+    def test_baseline_is_exact_on_rule_path_line(self, tmp_path):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        report = run_lint([path])
+        finding = report.findings[0]
+        wrong_line = {(finding.rule, finding.path, finding.line + 5)}
+        assert not run_lint([path], baseline=wrong_line).clean
+
+    def test_payload_shape(self):
+        payload = baseline_payload([Finding("DET003", "a.py", 3, 1, "msg")])
+        assert payload == {
+            "version": 1,
+            "findings": [{"rule": "DET003", "path": "a.py", "line": 3}],
+        }
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        assert main([path]) == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_seeded_violation_fails(self, tmp_path, capsys):
+        """The CI negative test: a planted violation must exit non-zero."""
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import heapq
+            heapq.heappush([], (0.0, object()))
+            """,
+        )
+        assert main([path]) == EXIT_FINDINGS
+        assert "SCH001" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        assert main(["--format", "json", path]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "DET003"
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["--select", "NOPE123", path]) == EXIT_ERROR
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == EXIT_ERROR
+        assert "no paths" in capsys.readouterr().err
+
+    def test_nonexistent_path_is_an_error_not_a_clean_pass(self, tmp_path, capsys):
+        """A typo'd CI path must fail loudly, not report '0 findings in 0 files'."""
+        assert main([str(tmp_path / "no-such-dir")]) == EXIT_ERROR
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_list_rules_documents_the_pack(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in ("RNG001", "RNG002", "DET001", "DET002", "DET003", "SCH001", "FPR001"):
+            assert rule in out
+
+    def test_write_baseline(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        baseline_file = tmp_path / "baseline.json"
+        assert main(["--write-baseline", str(baseline_file), path]) == EXIT_CLEAN
+        assert main(["--baseline", str(baseline_file), path]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["--baseline", str(tmp_path / "absent.json"), path]) == EXIT_ERROR
+        capsys.readouterr()
+
+
+class TestCodebaseIsClean:
+    def test_src_repro_lints_clean_with_empty_baseline(self, capsys):
+        """The acceptance criterion: the shipped tree has zero findings."""
+        import os
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+        assert main([src]) == EXIT_CLEAN
+        capsys.readouterr()

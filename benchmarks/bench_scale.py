@@ -38,6 +38,7 @@ def test_scale_base(benchmark):
         "scale_base",
         wall_seconds=wall,
         events_fired=result.events_fired,
+        collector_backend=result.metrics.backend_name,
         scale="scale",
         num_peers=result.config.num_peers,
     )
@@ -60,6 +61,7 @@ def test_scale_churn(benchmark):
         "scale_churn",
         wall_seconds=wall,
         events_fired=result.events_fired,
+        collector_backend=result.metrics.backend_name,
         scale="scale",
         num_peers=result.config.num_peers,
         churn_transitions=result.summary.counters.get("churn.offline", 0)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import json
 import os
+import resource
+import sys
 from typing import Optional
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
@@ -46,19 +48,37 @@ def publish(table, name: str) -> None:
         handle.write(rendered + "\n")
 
 
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process so far, in MB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; monotone
+    over the process lifetime, so benches sharing a process see the
+    max across everything run so far — comparable PR-over-PR as long
+    as the bench file composition is stable.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return round(peak / 1024.0, 1)
+
+
 def publish_bench(
     name: str,
     wall_seconds: float,
     events_fired: Optional[int] = None,
     scale: Optional[str] = None,
+    collector_backend: Optional[str] = None,
     **extra,
 ) -> dict:
     """Write ``BENCH_<name>_<scale>.json`` with the perf measurements.
 
     ``events_fired`` may be None for benches that only time wall clock;
     ``events_per_second`` is derived when both numbers are present.
-    Extra keyword fields are stored verbatim (e.g. peer counts), so a
-    bench can carry whatever context makes its trajectory readable.
+    Every record carries the process peak RSS (MB); simulation benches
+    pass ``collector_backend`` (``result.metrics.backend_name``) so the
+    trajectory states which metrics core produced it.  Extra keyword
+    fields are stored verbatim (e.g. peer counts), so a bench can carry
+    whatever context makes its trajectory readable.
     """
     record = {
         "name": name,
@@ -71,6 +91,8 @@ def publish_bench(
             if events_fired is not None and wall_seconds > 0
             else None
         ),
+        "peak_rss_mb": peak_rss_mb(),
+        "collector_backend": collector_backend,
     }
     record.update(extra)
     os.makedirs(RESULTS_DIR, exist_ok=True)

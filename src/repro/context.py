@@ -12,7 +12,10 @@ import math
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.config import SimulationConfig
+from repro.core.peer_table import PeerStateTable
 from repro.metrics.collectors import MetricsCollector
+from repro.metrics.columnar import ColumnarCollector
+from repro.metrics.summary import AnyCollector
 from repro.sim.engine import Engine
 from repro.sim.rng import RandomSource
 
@@ -30,13 +33,22 @@ class SimContext:
         config: SimulationConfig,
         engine: Optional[Engine] = None,
         rng: Optional[RandomSource] = None,
-        metrics: Optional[MetricsCollector] = None,
+        metrics: Optional["AnyCollector"] = None,
     ) -> None:
         self.config = config
         self.engine = engine if engine is not None else Engine()
         self.rng = rng if rng is not None else RandomSource(config.seed)
-        self.metrics = metrics if metrics is not None else MetricsCollector()
+        if metrics is not None:
+            self.metrics: "AnyCollector" = metrics
+        elif config.metrics_backend == "columnar":
+            self.metrics = ColumnarCollector()
+        else:
+            self.metrics = MetricsCollector()
         self.peers: Dict[int, "Peer"] = {}
+        #: Columnar mirror of scan-relevant peer state (see
+        #: :mod:`repro.core.peer_table`); peers push updates here from
+        #: their own mutation points.
+        self.peer_table = PeerStateTable()
         self.catalog: Optional["Catalog"] = None
         self.lookup: Optional["LookupService"] = None
         self._ring_counter = 0

@@ -20,13 +20,13 @@ that "only one will be initiated successfully".
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Sequence, Set, Tuple
 
+from repro.core import token_protocol
 from repro.core.ring import ExchangeRing, RingEdge, edges_from_candidate
-from repro.core.ring_search import find_candidates
+from repro.core.ring_search import RingCandidate, find_candidates
 from repro.core.scheduler import preempt_for_exchange
-from repro.core.token_protocol import validate_ring
-from repro.errors import TokenValidationFailed
+from repro.core.token_protocol import validate_ring  # noqa: F401  (public API re-export)
 from repro.metrics.records import TerminationReason
 from repro.network.transfer import Transfer
 
@@ -41,6 +41,12 @@ def open_wants(peer: "Peer", only_object: Optional[int] = None) -> Dict[int, Set
     A want is eligible while the download is open, has unassigned blocks
     to fetch, and is not already served by an exchange (the paper's
     one-exchange-per-request rule).
+
+    The provider sets are the lookup service's *live* views, not copies
+    (:meth:`~repro.network.lookup.LookupService.provider_view`): ring
+    search only reads them, and any path through the searcher itself is
+    rejected by ``path_is_usable``, so skipping the per-pass
+    copy-with-exclude is observationally identical.
     """
     lookup = peer.ctx.lookup
     wants: Dict[int, Set[int]] = {}
@@ -51,7 +57,7 @@ def open_wants(peer: "Peer", only_object: Optional[int] = None) -> Dict[int, Set
             continue
         if download.has_exchange_transfer:
             continue
-        providers = lookup.providers(object_id, exclude=peer.peer_id)
+        providers = lookup.provider_view(object_id)
         if providers:
             wants[object_id] = providers
     return wants
@@ -72,15 +78,17 @@ def search_state_key(peer: "Peer") -> tuple:
     will find nothing again, so the periodic scan can skip it outright.
     """
     irq = peer.irq
-    lookup = peer.ctx.lookup
-    return (
-        irq.version,
-        irq.binding_epoch,
-        tuple(
-            (object_id, download.epoch, lookup.object_version(object_id))
-            for object_id, download in peer.pending.items()
-        ),
-    )
+    version_of = peer.ctx.lookup.object_versions().get
+    parts = [irq.version, irq.binding_epoch]
+    append = parts.append
+    for object_id, download in peer.pending.items():
+        append(object_id)
+        append(download.epoch)
+        append(version_of(object_id, 0))
+    # Flat tuple: same information as the nested per-download triples
+    # (fixed stride, so equal flats ⇔ equal nesteds) without the inner
+    # tuple allocations — this runs on every single scan pass.
+    return tuple(parts)
 
 
 def try_form_exchanges(
@@ -115,8 +123,15 @@ def try_form_exchanges(
         if gate_key is not None:
             peer.idle_search_key = gate_key
         return 0
+    ctx = peer.ctx
     candidates = find_candidates(
-        peer.peer_id, peer.irq, wants, policy.max_ring, entries=entries
+        peer.peer_id,
+        peer.irq,
+        wants,
+        policy.max_ring,
+        entries=entries,
+        peer_table=ctx.peer_table,
+        object_version_of=ctx.lookup.object_versions().get,
     )
     if not candidates:
         if gate_key is not None:
@@ -124,10 +139,18 @@ def try_form_exchanges(
         return 0
     if gate_key is not None:
         peer.idle_search_key = None
-    metrics = peer.ctx.metrics
+    metrics = ctx.metrics
+    peers = peer.ctx.peers
+    peer_id = peer.peer_id
+    pending = peer.pending
     formed = 0
+    # Per-pass memo of edge vetoes: candidate lists repeat the same
+    # (requester, provider, object, size) edges many times (one busy
+    # entry anchors hundreds of paths), and between commits nothing a
+    # token pass reads can change.  Cleared after every commit.
+    memo: Dict[Tuple[int, int, int, int], Optional[Tuple[str, int]]] = {}
     for candidate in policy.order(candidates):
-        download = peer.pending.get(candidate.want_object_id)
+        download = pending.get(candidate.want_object_id)
         if (
             download is None
             or download.completed
@@ -137,18 +160,63 @@ def try_form_exchanges(
             continue  # consumed by an earlier commit in this pass
         if not candidate.entry.active:
             continue  # the path's IRQ entry was served or cancelled
-        edges = edges_from_candidate(peer.peer_id, candidate)
         metrics.count("ring.attempt")
-        try:
-            validate_ring(peer.ctx, edges)
-        except TokenValidationFailed as veto:
-            metrics.count(f"ring.reject.{veto.reason}")
+        veto = _candidate_veto(peers, peer_id, candidate, memo)
+        if veto is not None:
+            metrics.count(f"ring.reject.{veto[0]}")
             continue
+        edges = edges_from_candidate(peer_id, candidate)
         commit_ring(peer, edges)
+        memo.clear()
         metrics.count("ring.formed")
         metrics.count(f"ring.formed.size{len(edges)}")
         formed += 1
     return formed
+
+
+#: Memo sentinel distinguishing "edge not yet checked" from a cached
+#: ``None`` ("edge passed").
+_UNCHECKED: Any = object()
+
+
+def _candidate_veto(
+    peers: Dict[int, "Peer"],
+    searcher_id: int,
+    candidate: RingCandidate,
+    memo: Dict[Tuple[int, int, int, int], Optional[Tuple[str, int]]],
+) -> Optional[Tuple[str, int]]:
+    """First token veto for a candidate's ring, or None if it validates.
+
+    Walks the same edges :func:`~repro.core.ring.edges_from_candidate`
+    would build, in the same order, applying the same per-edge checks as
+    :func:`~repro.core.token_protocol.validate_ring` — but exception-free,
+    without materializing :class:`~repro.core.ring.RingEdge` objects for
+    the ~99% of attempts that are vetoed, and memoized per pass (the
+    overwhelmingly common veto, ``already-exchanging``, repeats for every
+    path anchored at the same busy entry).
+    """
+    path = candidate.path
+    ring_size = len(path) + 1
+    provider_id = searcher_id
+    for requester_id, object_id in path:
+        key = (requester_id, provider_id, object_id, ring_size)
+        veto = memo.get(key, _UNCHECKED)
+        if veto is _UNCHECKED:
+            veto = token_protocol.edge_veto(
+                peers[requester_id], peers[provider_id], object_id, ring_size
+            )
+            memo[key] = veto
+        if veto is not None:
+            return veto
+        provider_id = requester_id
+    key = (searcher_id, provider_id, candidate.want_object_id, ring_size)
+    veto = memo.get(key, _UNCHECKED)
+    if veto is _UNCHECKED:
+        veto = token_protocol.edge_veto(
+            peers[searcher_id], peers[provider_id], candidate.want_object_id, ring_size
+        )
+        memo[key] = veto
+    return veto
 
 
 def commit_ring(peer: "Peer", edges: Sequence[RingEdge]) -> ExchangeRing:

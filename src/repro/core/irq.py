@@ -148,23 +148,37 @@ class RequestEntry:
         prune; :func:`~repro.core.request_tree.build_snapshot` adopts it
         whenever the count fits its remaining node budget (where the
         budgeted per-node prune would reproduce it node for node) and
-        falls back to the budgeted prune otherwise.  The cache survives
-        the downstream snapshot rebuilds between refreshes of this
-        entry's own tree, which is where the reuse comes from.
+        falls back to the budgeted prune otherwise.
+
+        The view is a pure function of the (immutable) tree and
+        ``levels``, so it is cached on the tree *root* and shared by
+        every entry the snapshot is attached to: one request's fanout
+        parks the same frozen tree at ``request_fanout`` providers, and
+        each provider re-prunes it on every snapshot rebuild.  The
+        entry-level ``_pruned`` tuple only short-circuits the root-cache
+        dict probe.
         """
         cached = self._pruned
         if cached is not None and cached[0] == levels:
             return cached[1], cached[2]
-        kids: List[RequestTreeNode] = []
-        if self.tree is not None:
-            for sub in self.tree.children:
-                copied = prune(sub, levels)
-                if copied is not None:
-                    kids.append(copied)
-        children = tuple(kids)
-        count = sum(kid.node_count() for kid in children)
-        self._pruned = (levels, children, count)
-        return children, count
+        tree = self.tree
+        if tree is None:
+            view: Tuple[Tuple[RequestTreeNode, ...], int] = ((), 0)
+        else:
+            cache = tree.occurrence_cache()
+            key = ("pruned", levels)
+            view = cache.get(key)
+            if view is None:
+                kids: List[RequestTreeNode] = []
+                for sub in tree.children:
+                    copied = prune(sub, levels)
+                    if copied is not None:
+                        kids.append(copied)
+                children = tuple(kids)
+                view = (children, sum(kid.node_count() for kid in children))
+                cache[key] = view
+        self._pruned = (levels, view[0], view[1])
+        return view
 
     def set_tree(self, tree: Optional[RequestTreeNode]) -> None:
         """Replace the attached snapshot (invalidates the path caches)."""
@@ -281,10 +295,11 @@ class IncomingRequestQueue:
         old_peers = entry._indexed
         entry.set_tree(tree)
         new_peers = tree_peer_set(entry.requester_id, tree)
-        entry._indexed = new_peers
-        for peer_id in new_peers - old_peers:
-            self._peer_index.setdefault(peer_id, []).append(entry)
-        self._dead_in_index += len(old_peers - new_peers)
+        if new_peers != old_peers:
+            entry._indexed = new_peers
+            for peer_id in new_peers - old_peers:
+                self._peer_index.setdefault(peer_id, []).append(entry)
+            self._dead_in_index += len(old_peers - new_peers)
         self.version += 1
         self._maybe_compact()
 
@@ -365,9 +380,14 @@ class IncomingRequestQueue:
         ):
             return
         new_index: Dict[int, List[RequestEntry]] = {}
+        bucket_of = new_index.get
         for entry in self._entries.values():
             for peer_id in entry._indexed:
-                new_index.setdefault(peer_id, []).append(entry)
+                bucket = bucket_of(peer_id)
+                if bucket is None:
+                    new_index[peer_id] = [entry]
+                else:
+                    bucket.append(entry)
         self._peer_index = new_index
         self._dead_in_index = 0
 

@@ -78,7 +78,10 @@ class RequestTreeNode:
         """Total nodes in this subtree, root included (cached)."""
         count = self._node_count
         if count is None:
-            count = 1 + sum(child.node_count() for child in self.children)
+            count = 1
+            for child in self.children:
+                child_count = child._node_count
+                count += child_count if child_count is not None else child.node_count()
             self._node_count = count
         return count
 
@@ -86,10 +89,14 @@ class RequestTreeNode:
         """Levels in this subtree (a lone root has depth 1; cached)."""
         depth = self._depth
         if depth is None:
-            if not self.children:
-                depth = 1
-            else:
-                depth = 1 + max(child.depth() for child in self.children)
+            deepest = 0
+            for child in self.children:
+                child_depth = child._depth
+                if child_depth is None:
+                    child_depth = child.depth()
+                if child_depth > deepest:
+                    deepest = child_depth
+            depth = 1 + deepest
             self._depth = depth
         return depth
 
@@ -146,16 +153,24 @@ def prune(
     """
     if levels <= 0:
         return None
+    depth = node._depth
+    if depth is None:
+        depth = node.depth()
     if budget is None:
-        if node.depth() <= levels:
+        if depth <= levels:
             return node
     else:
-        if budget[0] <= 0:
+        remaining = budget[0]
+        if remaining <= 0:
             return None
-        if node.depth() <= levels and node.node_count() <= budget[0]:
-            budget[0] -= node.node_count()
-            return node
-        budget[0] -= 1
+        if depth <= levels:
+            count = node._node_count
+            if count is None:
+                count = node.node_count()
+            if count <= remaining:
+                budget[0] = remaining - count
+                return node
+        budget[0] = remaining - 1
     if levels == 1:  # children could only land at level 0 — drop them
         return RequestTreeNode(node.peer_id, node.object_id, ())
     children: List[RequestTreeNode] = []
@@ -261,15 +276,18 @@ def tree_peer_set(
     cached = tree._peer_set
     if cached is None:
         acc = {tree.peer_id}
+        add = acc.add
         stack: List[RequestTreeNode] = [tree]
+        push = stack.append
+        pop = stack.pop
         while stack:
-            node = stack.pop()
+            node = pop()
             for child in node.children:
                 if child.object_id is None:
                     continue  # malformed: non-root without an edge label
-                acc.add(child.peer_id)
+                add(child.peer_id)
                 if child.children:
-                    stack.append(child)
+                    push(child)
         cached = frozenset(acc)
         tree._peer_set = cached
     if tree.peer_id == requester_id:
@@ -322,9 +340,12 @@ def _occurrence_subindex(tree: RequestTreeNode, requester_id: int) -> dict:
     :func:`occurrence_index` just prefixing the root step.
     """
     index: dict = {}
+    bucket_of = index.get
     stack: List[Tuple[RequestTreeNode, Path]] = [(tree, ())]
+    push = stack.append
+    pop = stack.pop
     while stack:
-        node, path = stack.pop()
+        node, path = pop()
         for child in node.children:
             if child.object_id is None:
                 continue  # malformed: non-root without an edge label
@@ -339,13 +360,13 @@ def _occurrence_subindex(tree: RequestTreeNode, requester_id: int) -> dict:
             if duplicate:
                 continue
             child_path = path + ((peer_id, child.object_id),)
-            bucket = index.get(peer_id)
+            bucket = bucket_of(peer_id)
             if bucket is None:
                 index[peer_id] = [child_path]
             else:
                 bucket.append(child_path)
             if child.children:
-                stack.append((child, child_path))
+                push((child, child_path))
     return index
 
 

@@ -18,12 +18,13 @@ IRQ's inverted peer index, so its cost is proportional to the number of
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set
 
 from repro.core.request_tree import Path
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.core.irq import IncomingRequestQueue, RequestEntry
+    from repro.core.peer_table import PeerStateTable
 
 
 class RingCandidate:
@@ -85,6 +86,8 @@ def find_candidates(
     wants: Dict[int, Set[int]],
     max_ring: int,
     entries: Optional[Iterable["RequestEntry"]] = None,
+    peer_table: Optional["PeerStateTable"] = None,
+    object_version_of: Optional[Callable[[int, int], int]] = None,
 ) -> List[RingCandidate]:
     """Enumerate ring candidates for a searching peer.
 
@@ -97,6 +100,12 @@ def find_candidates(
     entries:
         Restrict the search to these IRQ entries (receive-side check of
         one incoming request); None searches the whole queue.
+    peer_table / object_version_of:
+        When both are given, the provider ∩ request-index intersection
+        goes through :meth:`~repro.core.peer_table.PeerStateTable.
+        sorted_intersection` — bitset-backed for large operands, same
+        ascending hit order either way (``object_version_of`` is
+        ``lookup.object_versions().get``, keying the mask cache).
 
     Returns candidates in deterministic discovery order (objects sorted,
     providers sorted, FIFO entries); the policy layer re-orders them.
@@ -107,10 +116,21 @@ def find_candidates(
     if entries is None:
         index = irq.index_view()
         index_keys = index.keys()
+        use_table = peer_table is not None and object_version_of is not None
         for object_id in sorted(wants):
             providers = wants[object_id]
-            hits = providers & index_keys
-            for provider_id in sorted(hits):
+            if use_table:
+                hits_sorted = peer_table.sorted_intersection(
+                    object_id,
+                    object_version_of(object_id, 0),
+                    providers,
+                    searcher_id,
+                    irq.version,
+                    index_keys,
+                )
+            else:
+                hits_sorted = sorted(providers & index_keys)
+            for provider_id in hits_sorted:
                 for entry, path in irq.paths_to(provider_id):
                     if path_is_usable(path, searcher_id, max_ring):
                         candidates.append(RingCandidate(object_id, path, entry))

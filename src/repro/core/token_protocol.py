@@ -16,13 +16,14 @@ metrics aggregate — the reject mix is itself an interesting measurement.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 from repro.core.ring import RingEdge
 from repro.errors import TokenValidationFailed
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.context import SimContext
+    from repro.network.peer import Peer
 
 
 #: Reasons a token pass can fail; kept as constants so metrics keys are stable.
@@ -52,40 +53,56 @@ def validate_ring(ctx: "SimContext", edges: Iterable[RingEdge]) -> None:
     ring_size = len(edges)
     peers = ctx.peers
     for edge in edges:
-        provider = peers[edge.provider_id]
-        requester = peers[edge.requester_id]
+        veto = edge_veto(
+            peers[edge.requester_id], peers[edge.provider_id], edge.object_id, ring_size
+        )
+        if veto is not None:
+            raise TokenValidationFailed(veto[0], veto[1])
 
-        if not provider.online:
-            raise TokenValidationFailed(REASON_OFFLINE, provider.peer_id)
-        if not provider.behavior.shares:
-            raise TokenValidationFailed(REASON_NOT_SHARING, provider.peer_id)
-        if not provider.policy.enables_exchanges:
-            # Heterogeneous populations: a member that has not adopted
-            # the exchange mechanism never answers the token.  Vacuous
-            # under a homogeneous population (the initiator's own policy
-            # already gates the search), so legacy runs are unchanged.
-            raise TokenValidationFailed(REASON_NOT_EXCHANGING, provider.peer_id)
-        if not provider.policy.accepts(ring_size):
-            # Likewise per-member: a pairwise-class peer refuses a
-            # 3..N-way ring even when an N-way initiator proposed it.
-            raise TokenValidationFailed(REASON_RING_TOO_LONG, provider.peer_id)
-        if provider.available_blocks(edge.object_id) <= 0:
-            raise TokenValidationFailed(REASON_OBJECT_GONE, provider.peer_id)
-        if provider.exchange_upload_count >= provider.upload_pool.total:
-            raise TokenValidationFailed(REASON_NO_UPLOAD_SLOT, provider.peer_id)
 
-        if not requester.online:
-            raise TokenValidationFailed(REASON_OFFLINE, requester.peer_id)
-        if not requester.policy.enables_exchanges:
-            raise TokenValidationFailed(REASON_NOT_EXCHANGING, requester.peer_id)
-        if not requester.policy.accepts(ring_size):
-            raise TokenValidationFailed(REASON_RING_TOO_LONG, requester.peer_id)
-        download = requester.pending.get(edge.object_id)
-        if download is None or download.completed or download.unassigned_blocks <= 0:
-            raise TokenValidationFailed(REASON_NO_LONGER_WANTED, requester.peer_id)
-        if download.has_exchange_transfer:
-            # Paper: one registered request can join at most one exchange.
-            raise TokenValidationFailed(REASON_ALREADY_EXCHANGING, requester.peer_id)
-        replaces_existing = download.transfer_from(edge.provider_id) is not None
-        if requester.download_pool.free <= 0 and not replaces_existing:
-            raise TokenValidationFailed(REASON_NO_DOWNLOAD_SLOT, requester.peer_id)
+def edge_veto(
+    requester: "Peer", provider: "Peer", object_id: int, ring_size: int
+) -> Optional[Tuple[str, int]]:
+    """One edge's token check: ``(reason, peer_id)`` on veto, else None.
+
+    The exception-free core of :func:`validate_ring` — the exchange
+    manager's commit loop calls it directly (and memoizes the result per
+    pass) because at scale ~99% of ring attempts are vetoed, and raising
+    through a try/except per attempt dominates the scan's cost.  Check
+    order is observable through the reject-reason counters, so it must
+    never be reordered.
+    """
+    if not provider.online:
+        return (REASON_OFFLINE, provider.peer_id)
+    if not provider.behavior.shares:
+        return (REASON_NOT_SHARING, provider.peer_id)
+    if not provider.policy.enables_exchanges:
+        # Heterogeneous populations: a member that has not adopted
+        # the exchange mechanism never answers the token.  Vacuous
+        # under a homogeneous population (the initiator's own policy
+        # already gates the search), so legacy runs are unchanged.
+        return (REASON_NOT_EXCHANGING, provider.peer_id)
+    if not provider.policy.accepts(ring_size):
+        # Likewise per-member: a pairwise-class peer refuses a
+        # 3..N-way ring even when an N-way initiator proposed it.
+        return (REASON_RING_TOO_LONG, provider.peer_id)
+    if provider.available_blocks(object_id) <= 0:
+        return (REASON_OBJECT_GONE, provider.peer_id)
+    if provider.exchange_upload_count >= provider.upload_pool.total:
+        return (REASON_NO_UPLOAD_SLOT, provider.peer_id)
+
+    if not requester.online:
+        return (REASON_OFFLINE, requester.peer_id)
+    if not requester.policy.enables_exchanges:
+        return (REASON_NOT_EXCHANGING, requester.peer_id)
+    if not requester.policy.accepts(ring_size):
+        return (REASON_RING_TOO_LONG, requester.peer_id)
+    download = requester.pending.get(object_id)
+    if download is None or download.completed or download.unassigned_blocks <= 0:
+        return (REASON_NO_LONGER_WANTED, requester.peer_id)
+    if download.has_exchange_transfer:
+        # Paper: one registered request can join at most one exchange.
+        return (REASON_ALREADY_EXCHANGING, requester.peer_id)
+    if requester.download_pool.free <= 0 and download.transfer_from(provider.peer_id) is None:
+        return (REASON_NO_DOWNLOAD_SLOT, requester.peer_id)
+    return None

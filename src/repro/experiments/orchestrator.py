@@ -59,7 +59,7 @@ ProgressFn = Callable[[int, int], None]
 #: summaries carry sharing-fraction trajectories).  Entries stamped
 #: with any other value are treated as misses, so stale pre-refactor
 #: results are never replayed.
-CACHE_SCHEMA_VERSION = 4
+CACHE_SCHEMA_VERSION = 5
 
 
 def config_fingerprint(config: SimulationConfig) -> str:

@@ -3,7 +3,7 @@
 The paper's absolute configuration (Table II) needs runs several times
 longer than the ~400-minute mean download time to measure download times
 without censoring bias — minutes of wall clock per point, hours for a
-full sweep.  Four presets trade fidelity for speed (or scale):
+full sweep.  Five presets trade fidelity for speed (or scale):
 
 * ``paper`` — Table II verbatim with a long measurement window.  Use
   for the record; hours per figure.
@@ -17,6 +17,10 @@ full sweep.  Four presets trade fidelity for speed (or scale):
   shorter measurement window, and churn-friendly defaults; used by
   ``benchmarks/bench_scale.py`` to track how far one simulation is
   from the ROADMAP's million-user target.
+* ``huge`` — 50,000 peers, the columnar-core stress preset: clip-sized
+  objects over narrow links, a short measurement window, and relaxed
+  periodic cadences keep a run CI-sized; used by
+  ``benchmarks/bench_huge.py``.
 
 All presets keep the paper's *structure*: 10 kbit/s slots, 6 pending
 requests, 50% free-riders, power-law popularity with f = 0.2, initial
@@ -79,6 +83,35 @@ SCALES: Dict[str, dict] = {
         duration=12_000.0,
         warmup=3_000.0,
     ),
+    # 50x the scale preset's population — the 10^4..10^5-peer regime the
+    # ROADMAP's fluid tier must be cross-validated against.  Every knob
+    # trades per-peer activity for population so one cell stays CI-sized
+    # (~2M events): small clip-sized objects that can actually complete
+    # inside the short window (0.5 MB at 10 kbit/s/slot ≈ 410 sim-s),
+    # narrow links (5 download / 4 upload slots, so the replenish loop
+    # floods 250k — not 4M — concurrent requests), trimmed fanout and
+    # tree bounds (IRQ peer-index insertion is the measured 50k-peer
+    # hotspot and scales with fanout x tree size), and relaxed periodic
+    # cadences so scan/refresh no-ops do not dominate the event budget.
+    "huge": dict(
+        num_peers=50_000,
+        num_categories=500,
+        objects_per_category_min=1,
+        objects_per_category_max=100,
+        object_size_mb=0.5,
+        block_size_kbit=1024.0,
+        download_capacity_kbit=50.0,
+        upload_capacity_kbit=40.0,
+        request_fanout=3,
+        max_tree_nodes=64,
+        storage_min_objects=4,
+        storage_max_objects=16,
+        duration=240.0,
+        warmup=80.0,
+        scan_interval=120.0,
+        tree_refresh_interval=240.0,
+        storage_check_interval=1_000.0,
+    ),
 }
 
 
@@ -92,6 +125,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "small": (120.0, 80.0, 40.0),
         "smoke": (120.0, 80.0, 40.0),
         "scale": (120.0, 80.0, 40.0),
+        "huge": (120.0, 80.0, 40.0),
     },
     # Fig. 6: maximum exchange ring size N.
     "ring_size": {
@@ -99,6 +133,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "small": (1, 2, 3, 5, 7),
         "smoke": (2, 3, 5),
         "scale": (2, 3, 5),
+        "huge": (2, 3, 5),
     },
     # Figs. 9/10: popularity factor f.
     "factor": {
@@ -106,6 +141,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "small": (0.0, 0.4, 0.8),
         "smoke": (0.0, 0.4, 0.8),
         "scale": (0.0, 0.4, 0.8),
+        "huge": (0.0, 0.4, 0.8),
     },
     # Fig. 11: maximum outstanding requests per peer.
     "pending": {
@@ -113,6 +149,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "small": (2, 4, 6, 10),
         "smoke": (2, 6, 10),
         "scale": (2, 6, 10),
+        "huge": (2, 6, 10),
     },
     # Fig. 12: fraction of non-sharing peers.
     "freeloader": {
@@ -120,6 +157,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "small": (0.1, 0.3, 0.5, 0.7, 0.9),
         "smoke": (0.2, 0.5, 0.8),
         "scale": (0.2, 0.5, 0.8),
+        "huge": (0.2, 0.5, 0.8),
     },
     # Adoption sweep: fraction of sharers running the exchange mechanism
     # (the network-effects question — how much adoption before the
@@ -129,6 +167,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "small": (0.0, 0.25, 0.5, 0.75, 1.0),
         "smoke": (0.0, 0.5, 1.0),
         "scale": (0.0, 0.5, 1.0),
+        "huge": (0.0, 0.5, 1.0),
     },
 }
 

@@ -1,0 +1,51 @@
+"""Shared session-reduction container.
+
+:func:`~repro.metrics.summary.summarize` used to iterate
+``List[SessionRecord]`` itself; with two collector backends (object
+lists and columnar arrays) the per-session reduction lives behind
+``collector.session_aggregates(warmup)`` instead, and this module holds
+the result shape both backends produce.
+
+Bit-identity contract: every float in an aggregate must be built from
+the same IEEE operations in the same order as the historical record
+loop — elementwise ``/ 8.0`` and ``/ 60.0`` transforms, and sequential
+left-fold ``sum(values, 0.0)`` accumulations — so the two backends
+summarize to byte-identical JSON (pinned by the golden figure tests
+and ``tests/test_collector_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SessionAggregates:
+    """Per-class/per-phase reductions over post-warmup sessions.
+
+    Dict key order is observable (summaries serialize to JSON): every
+    mapping is keyed in *first-occurrence order* over the post-warmup
+    sessions, exactly like the historical dict-building record loop.
+    """
+
+    #: Sessions per traffic-class label.
+    session_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-session volume (KB) lists per traffic-class label.
+    volume_kb_by_class: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-session waiting time (minutes) lists per traffic-class label.
+    waiting_min_by_class: Dict[str, List[float]] = field(default_factory=dict)
+    #: Sessions whose traffic class is an exchange class.
+    exchange_sessions: int = 0
+    #: All post-warmup sessions (the fraction's denominator).
+    total_sessions: int = 0
+    #: Volume (kbit) received by sharer / freeloader requesters.
+    sharer_kbit: float = 0.0
+    freeloader_kbit: float = 0.0
+    #: Volume (kbit) received per population-class label (records
+    #: without a label fall back to sharer/freeloader).
+    kbit_by_peer_class: Dict[str, float] = field(default_factory=dict)
+    #: Sessions per scenario-phase label (unlabeled sessions skipped).
+    phase_counts: Dict[str, int] = field(default_factory=dict)
+    #: Exchange sessions per scenario-phase label.
+    phase_exchange_counts: Dict[str, int] = field(default_factory=dict)

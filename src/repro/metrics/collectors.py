@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.metrics.aggregates import SessionAggregates
 from repro.metrics.records import (
     DownloadRecord,
     SessionRecord,
@@ -23,6 +24,9 @@ from repro.metrics.records import (
 
 class MetricsCollector:
     """Append-only store of session and download records plus counters."""
+
+    #: Backend label, published into benchmark artifacts.
+    backend_name = "dataclass"
 
     def __init__(self) -> None:
         self.sessions: List[SessionRecord] = []
@@ -62,6 +66,102 @@ class MetricsCollector:
     def count(self, name: str, delta: int = 1) -> None:
         """Bump a free-form counter (ring attempts, token failures, ...)."""
         self.counters[name] += delta
+
+    # ------------------------------------------------------------------
+    # recording — scalar API (shared with the columnar backend, which
+    # uses it to skip the per-record dataclass allocation entirely; here
+    # it simply builds the record and delegates)
+    # ------------------------------------------------------------------
+    def add_session(
+        self,
+        provider_id: int,
+        requester_id: int,
+        object_id: int,
+        traffic_class: TrafficClass,
+        ring_size: int,
+        ring_id: Optional[int],
+        request_time: float,
+        start_time: float,
+        end_time: float,
+        kbit_transferred: float,
+        reason: TerminationReason,
+        requester_is_sharer: bool,
+        requester_class: str = "",
+        phase: str = "",
+    ) -> None:
+        """Append one transfer session from scalar fields."""
+        self.record_session(
+            SessionRecord(
+                provider_id=provider_id,
+                requester_id=requester_id,
+                object_id=object_id,
+                traffic_class=traffic_class,
+                ring_size=ring_size,
+                ring_id=ring_id,
+                request_time=request_time,
+                start_time=start_time,
+                end_time=end_time,
+                kbit_transferred=kbit_transferred,
+                reason=reason,
+                requester_is_sharer=requester_is_sharer,
+                requester_class=requester_class,
+                phase=phase,
+            )
+        )
+
+    def add_download(
+        self,
+        peer_id: int,
+        object_id: int,
+        request_time: float,
+        complete_time: float,
+        size_kbit: float,
+        peer_is_sharer: bool,
+        class_name: str = "",
+        phase: str = "",
+    ) -> None:
+        """Append one completed download from scalar fields."""
+        self.record_download(
+            DownloadRecord(
+                peer_id=peer_id,
+                object_id=object_id,
+                request_time=request_time,
+                complete_time=complete_time,
+                size_kbit=size_kbit,
+                peer_is_sharer=peer_is_sharer,
+                class_name=class_name,
+                phase=phase,
+            )
+        )
+
+    def add_strategy_epoch(
+        self,
+        time: float,
+        epoch: int,
+        enrolled: int,
+        sharing: int,
+        revised: int,
+        switched_to_sharing: int,
+        switched_to_freeloading: int,
+        mean_payoff_sharing: Optional[float],
+        mean_payoff_freeloading: Optional[float],
+        phase: str = "",
+    ) -> None:
+        """Append one strategy-revision epoch from scalar fields."""
+        self.record_strategy_epoch(
+            StrategyEpochRecord(
+                time=time,
+                epoch=epoch,
+                enrolled=enrolled,
+                sharing=sharing,
+                revised=revised,
+                switched_to_sharing=switched_to_sharing,
+                switched_to_freeloading=switched_to_freeloading,
+                mean_payoff_sharing=mean_payoff_sharing,
+                mean_payoff_freeloading=mean_payoff_freeloading,
+                phase=phase,
+            )
+        )
 
     # ------------------------------------------------------------------
     # filtered views (used by summary and by tests)
@@ -129,6 +229,88 @@ class MetricsCollector:
             if session.phase:
                 grouped.setdefault(session.phase, []).append(session)
         return grouped
+
+    # ------------------------------------------------------------------
+    # summary inputs
+    # ------------------------------------------------------------------
+    def session_aggregates(self, warmup: float) -> SessionAggregates:
+        """Per-class/per-phase reductions over post-warmup sessions.
+
+        The historical :func:`~repro.metrics.summary.summarize` record
+        loop, moved behind the collector so the columnar backend can
+        produce the same aggregates from arrays.  Computation order is
+        frozen — the columnar backend reproduces it bit for bit.
+        """
+        agg = SessionAggregates()
+        for session in self.sessions_after(warmup):
+            agg.total_sessions += 1
+            label = session.traffic_class.value
+            agg.session_counts[label] = agg.session_counts.get(label, 0) + 1
+            agg.volume_kb_by_class.setdefault(label, []).append(
+                session.kbit_transferred / 8.0
+            )
+            agg.waiting_min_by_class.setdefault(label, []).append(
+                session.waiting_time / 60.0
+            )
+            is_exchange = session.traffic_class.is_exchange
+            if is_exchange:
+                agg.exchange_sessions += 1
+            if session.requester_is_sharer:
+                agg.sharer_kbit += session.kbit_transferred
+            else:
+                agg.freeloader_kbit += session.kbit_transferred
+            peer_class = session.requester_class or (
+                "sharer" if session.requester_is_sharer else "freeloader"
+            )
+            agg.kbit_by_peer_class[peer_class] = (
+                agg.kbit_by_peer_class.get(peer_class, 0.0)
+                + session.kbit_transferred
+            )
+            if session.phase:
+                agg.phase_counts[session.phase] = (
+                    agg.phase_counts.get(session.phase, 0) + 1
+                )
+                agg.phase_exchange_counts[session.phase] = (
+                    agg.phase_exchange_counts.get(session.phase, 0)
+                    + (1 if is_exchange else 0)
+                )
+        return agg
+
+    # ------------------------------------------------------------------
+    # incremental row feeds (strategy layer)
+    # ------------------------------------------------------------------
+    @property
+    def num_sessions(self) -> int:
+        """Session records collected so far."""
+        return len(self.sessions)
+
+    @property
+    def num_downloads(self) -> int:
+        """Download records collected so far."""
+        return len(self.downloads)
+
+    def session_rows_since(
+        self, start: int
+    ) -> Iterator[Tuple[int, float, float, bool]]:
+        """``(requester_id, request_time, end_time, is_exchange)`` rows.
+
+        Rows ``start..`` in record order; the strategy layer's epoch
+        ingestion consumes these so both collector backends feed it the
+        same scalars.
+        """
+        return (
+            (s.requester_id, s.request_time, s.end_time, s.traffic_class.is_exchange)
+            for s in self.sessions[start:]
+        )
+
+    def download_rows_since(
+        self, start: int
+    ) -> Iterator[Tuple[int, float, float, float]]:
+        """``(peer_id, request_time, complete_time, download_time)`` rows."""
+        return (
+            (d.peer_id, d.request_time, d.complete_time, d.download_time)
+            for d in self.downloads[start:]
+        )
 
     def reason_counts(self) -> Dict[TerminationReason, int]:
         """Session count per termination reason (zero counts omitted)."""

@@ -11,10 +11,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.metrics.collectors import MetricsCollector
+from repro.metrics.columnar import ColumnarCollector
 from repro.units import kbit_to_mb, seconds_to_minutes
+
+#: Both collector backends expose the same summary-input surface
+#: (``session_aggregates``, the download-time views, ``strategy_epochs``
+#: and ``counters``); :func:`summarize` is backend-agnostic over them.
+AnyCollector = Union[MetricsCollector, ColumnarCollector]
 
 
 def _mean(values: List[float]) -> Optional[float]:
@@ -117,7 +123,7 @@ class SimulationSummary:
 
 
 def summarize(
-    collector: MetricsCollector,
+    collector: AnyCollector,
     warmup: float,
     num_sharers: int,
     num_freeloaders: int,
@@ -131,43 +137,28 @@ def summarize(
     ``class_sizes`` (population-class label → peer count) normalizes the
     per-class volume breakdown; when omitted, classes present in the
     records still get download-time and count entries.
+
+    Works identically over both collector backends: all per-record
+    reduction happens inside ``collector.session_aggregates`` and the
+    download-time views, which the backends implement equivalently
+    (records loop vs. columnar arrays — bit-identical by contract).
     """
     sharer_times = collector.download_times(sharer=True, warmup=warmup)
     freeloader_times = collector.download_times(sharer=False, warmup=warmup)
     all_times = sharer_times + freeloader_times
     times_by_peer_class = collector.download_times_by_class(warmup=warmup)
 
-    sessions = collector.sessions_after(warmup)
-    session_counts: Dict[str, int] = {}
-    volume_by_class: Dict[str, List[float]] = {}
-    waiting_by_class: Dict[str, List[float]] = {}
-    exchange_sessions = 0
-    sharer_kbit = 0.0
-    freeloader_kbit = 0.0
-    kbit_by_peer_class: Dict[str, float] = {}
-    for session in sessions:
-        label = session.traffic_class.value
-        session_counts[label] = session_counts.get(label, 0) + 1
-        volume_by_class.setdefault(label, []).append(session.kbit_transferred / 8.0)
-        waiting_by_class.setdefault(label, []).append(
-            seconds_to_minutes(session.waiting_time)
-        )
-        if session.traffic_class.is_exchange:
-            exchange_sessions += 1
-        if session.requester_is_sharer:
-            sharer_kbit += session.kbit_transferred
-        else:
-            freeloader_kbit += session.kbit_transferred
-        peer_class = session.requester_class or (
-            "sharer" if session.requester_is_sharer else "freeloader"
-        )
-        kbit_by_peer_class[peer_class] = (
-            kbit_by_peer_class.get(peer_class, 0.0) + session.kbit_transferred
-        )
+    agg = collector.session_aggregates(warmup)
+    session_counts = agg.session_counts
+    volume_by_class = agg.volume_kb_by_class
+    waiting_by_class = agg.waiting_min_by_class
+    sharer_kbit = agg.sharer_kbit
+    freeloader_kbit = agg.freeloader_kbit
+    kbit_by_peer_class = agg.kbit_by_peer_class
 
     fraction: Optional[float] = None
-    if sessions:
-        fraction = exchange_sessions / len(sessions)
+    if agg.total_sessions:
+        fraction = agg.exchange_sessions / agg.total_sessions
 
     sizes: Dict[str, int] = dict(class_sizes) if class_sizes else {}
     # Every known class appears in the breakdowns, even with no activity
@@ -200,10 +191,11 @@ def summarize(
         )
         completed_by_phase[label] = len(times)
     exchange_fraction_by_phase: Dict[str, Optional[float]] = {}
-    for label, phase_sessions in collector.sessions_by_phase(warmup=warmup).items():
-        exchanges = sum(1 for s in phase_sessions if s.traffic_class.is_exchange)
+    for label, phase_total in agg.phase_counts.items():
         exchange_fraction_by_phase[label] = (
-            exchanges / len(phase_sessions) if phase_sessions else None
+            agg.phase_exchange_counts.get(label, 0) / phase_total
+            if phase_total
+            else None
         )
 
     # Strategy dynamics: the full trajectory (warmup included — the

@@ -38,6 +38,9 @@ from typing import Dict, List, Set
 
 from repro.errors import LookupError_
 
+#: Shared empty view returned for never-registered objects (read-only).
+_EMPTY_PROVIDERS: Set[int] = set()
+
 
 class LookupService:
     """Global index of *shared* objects → provider peer ids."""
@@ -111,6 +114,20 @@ class LookupService:
             return live - {exclude}
         return set(live)
 
+    def provider_view(self, object_id: int) -> Set[int]:
+        """The live provider set itself — read-only by convention, no copy.
+
+        The exchange scan reads every pending object's provider set on
+        every ungated pass; copying them (:meth:`providers`) dominated
+        ``open_wants`` at scale.  Callers must only *read* the result
+        (set intersections, membership) and must not hold it across
+        events.  Unlike :meth:`providers` the view may contain the
+        calling peer itself; ring search already rejects any path
+        through the searcher, so the exchange path needs no exclusion.
+        """
+        view = self._providers.get(object_id)
+        return view if view is not None else _EMPTY_PROVIDERS
+
     def provider_count(self, object_id: int) -> int:
         """Number of live providers of ``object_id`` (0 if unlocatable)."""
         return len(self._providers.get(object_id, ()))
@@ -118,6 +135,16 @@ class LookupService:
     def object_version(self, object_id: int) -> int:
         """Mutation count of one object's provider set (0 = never seen)."""
         return self._versions.get(object_id, 0)
+
+    def object_versions(self) -> Dict[int, int]:
+        """The live per-object counter map — read-only by convention.
+
+        Exposed for hot paths that fingerprint many objects per call
+        (:func:`~repro.core.exchange_manager.search_state_key` runs on
+        every scan) and bind ``object_versions().get`` once instead of
+        paying a method call per object.
+        """
+        return self._versions
 
     def _sorted_providers(self, object_id: int) -> List[int]:
         """Cached ascending provider list; read-only by convention."""

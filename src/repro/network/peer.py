@@ -27,7 +27,7 @@ from repro.core.irq import IncomingRequestQueue, RequestEntry
 from repro.core.policies import ExchangePolicy
 from repro.core.request_tree import build_snapshot
 from repro.errors import ProtocolError
-from repro.metrics.records import DownloadRecord, TerminationReason
+from repro.metrics.records import TerminationReason
 from repro.network.behaviors import FREELOADER, SHARER, PeerBehavior
 from repro.network.capacity import SlotPool
 from repro.network.download import DownloadState
@@ -113,6 +113,16 @@ class Peer:
                 fake_participation=config.freeloaders_fake_participation,
             )
         self.discipline = discipline
+        # Mirror the scan-relevant slice into the columnar peer table;
+        # every later mutation point below pushes its own update.
+        ctx.peer_table.register(
+            peer_id,
+            online=True,
+            shares=behavior.shares,
+            enables_exchanges=policy.enables_exchanges,
+            max_ring=policy.max_ring,
+            class_name=self.class_name,
+        )
 
     # ------------------------------------------------------------------
     # identity & capability
@@ -326,6 +336,7 @@ class Peer:
             for object_id in self.store.object_ids():
                 ctx.lookup.unregister(self.peer_id, object_id)
         self.online = False
+        ctx.peer_table.set_online(self.peer_id, False)
         self.suspend_periodic()
         ctx.metrics.count("churn.offline")
 
@@ -353,6 +364,7 @@ class Peer:
             return
         ctx = self.ctx
         self.online = True
+        ctx.peer_table.set_online(self.peer_id, True)
         if self.behavior.shares:
             for object_id in self.store.object_ids():
                 ctx.lookup.register(self.peer_id, object_id)
@@ -397,6 +409,7 @@ class Peer:
         """
         if self.behavior.shares == share:
             return False
+        self.ctx.peer_table.set_shares(self.peer_id, share)
         if share:
             self.behavior = SHARER
             if self.online:
@@ -426,6 +439,9 @@ class Peer:
         newly enabled mechanism starts searching immediately.
         """
         self.policy = policy
+        self.ctx.peer_table.set_policy(
+            self.peer_id, policy.enables_exchanges, policy.max_ring
+        )
         self.idle_search_key = None
         self._snapshot_cache = None
         self._push_complete_version = None
@@ -551,7 +567,9 @@ class Peer:
         self._push_complete_version = version if complete else None
 
     def _replenish_downloads(self) -> None:
-        if self.workload is not None and len(self.pending) < self.ctx.config.max_pending:
+        ctx = self.ctx
+        config = ctx.config
+        if self.workload is not None and len(self.pending) < config.max_pending:
             self.fill_pending()
         for download in list(self.pending.values()):
             if download.completed or download.unassigned_blocks <= 0:
@@ -559,15 +577,15 @@ class Peer:
             if download.active_sources > 0 or download.registered_at:
                 download.lookup_failures = 0
                 continue
-            providers = self.ctx.lookup.find_providers(
+            providers = ctx.lookup.find_providers(
                 download.object.object_id, self.peer_id, self._rand
             )
             if not providers:
-                self.ctx.metrics.count("lookup.retry_miss")
+                ctx.metrics.count("lookup.retry_miss")
                 download.lookup_failures += 1
                 if (
                     download.lookup_failures
-                    >= self.ctx.config.abandon_after_lookup_failures
+                    >= config.abandon_after_lookup_failures
                 ):
                     self.abandon_download(download)
                 continue
@@ -607,16 +625,14 @@ class Peer:
         newly_stored = self.store.add_if_absent(object_id)
         if newly_stored and self.shares:
             self.ctx.lookup.register(self.peer_id, object_id)
-        self.ctx.metrics.record_download(
-            DownloadRecord(
-                peer_id=self.peer_id,
-                object_id=object_id,
-                request_time=download.request_time,
-                complete_time=self.ctx.now,
-                size_kbit=download.object.size_kbit,
-                peer_is_sharer=self.behavior.shares,
-                class_name=self.class_name,
-            )
+        self.ctx.metrics.add_download(
+            peer_id=self.peer_id,
+            object_id=object_id,
+            request_time=download.request_time,
+            complete_time=self.ctx.now,
+            size_kbit=download.object.size_kbit,
+            peer_is_sharer=self.behavior.shares,
+            class_name=self.class_name,
         )
         if self.workload is not None:
             self.fill_pending()

@@ -24,7 +24,7 @@ import enum
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ProtocolError
-from repro.metrics.records import SessionRecord, TerminationReason, TrafficClass
+from repro.metrics.records import TerminationReason, TrafficClass
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.context import SimContext
@@ -273,7 +273,9 @@ class Transfer:
     # ------------------------------------------------------------------
     def _record_session(self, reason: TerminationReason) -> None:
         kbit = self.session_blocks * self._ctx.config.block_size_kbit
-        record = SessionRecord(
+        # Scalar API: the columnar backend stores these directly without
+        # materializing a SessionRecord per session.
+        self._ctx.metrics.add_session(
             provider_id=self.provider.peer_id,
             requester_id=self.requester.peer_id,
             object_id=self.object.object_id,
@@ -288,7 +290,6 @@ class Transfer:
             requester_is_sharer=self.requester.behavior.shares,
             requester_class=self.requester.class_name,
         )
-        self._ctx.metrics.record_session(record)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = f"ring{self.ring_size}" if self.ring_size else "normal"

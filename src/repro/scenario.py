@@ -470,12 +470,9 @@ class ScenarioDirector:
         self.peers_spawned += event.count
 
     def _alive_peer_ids(self, class_name: Optional[str] = None) -> list:
-        return sorted(
-            peer_id
-            for peer_id, peer in self.ctx.peers.items()
-            if not peer.departed
-            and (class_name is None or peer.class_name == class_name)
-        )
+        # Columnar scan: ascending-id enumeration over the peer table's
+        # masks — identical to sorting the registry-derived ids.
+        return self.ctx.peer_table.alive_ids(class_name)
 
     def _apply_departure(self, event: PeerDeparture) -> None:
         candidates = self._alive_peer_ids(event.class_name)
@@ -501,17 +498,9 @@ class ScenarioDirector:
         # ones are seeded instead — their copy publishes on reconnect,
         # so the hot objects become locatable rather than staying
         # orphaned forever.
-        sharers = sorted(
-            peer_id
-            for peer_id, peer in ctx.peers.items()
-            if peer.behavior.shares and peer.online and not peer.departed
-        )
+        sharers = ctx.peer_table.sharer_ids(online_only=True)
         if not sharers:
-            sharers = sorted(
-                peer_id
-                for peer_id, peer in ctx.peers.items()
-                if peer.behavior.shares and not peer.departed
-            )
+            sharers = ctx.peer_table.sharer_ids(online_only=False)
             if sharers:
                 ctx.metrics.count("scenario.flash_seeded_offline")
             else:

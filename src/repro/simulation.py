@@ -28,6 +28,7 @@ Typical use::
 from __future__ import annotations
 
 import dataclasses
+import gc
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -43,8 +44,7 @@ from repro.context import SimContext
 from repro.core.policies import ExchangePolicy, parse_mechanism
 from repro.errors import SimulationError
 from repro.core.disciplines import make_discipline
-from repro.metrics.collectors import MetricsCollector
-from repro.metrics.summary import SimulationSummary, summarize
+from repro.metrics.summary import AnyCollector, SimulationSummary, summarize
 from repro.network.lookup import LookupService
 from repro.network.peer import Peer
 from repro.population import (
@@ -64,7 +64,7 @@ class SimulationResult:
 
     config: SimulationConfig
     summary: SimulationSummary
-    metrics: MetricsCollector
+    metrics: AnyCollector
     events_fired: int
     wall_seconds: float
 
@@ -421,6 +421,7 @@ class FileSharingSimulation:
             return
         peer.disconnect()  # no-op when churn already took it offline
         peer.departed = True
+        peer.ctx.peer_table.set_departed(peer.peer_id)
         peer.pending.clear()
         for process in peer.periodic_processes:
             process.stop()
@@ -458,7 +459,17 @@ class FileSharingSimulation:
         # Wall-clock here measures the run for reporting only — it
         # never feeds simulation state, which advances on engine time.
         started = time.perf_counter()  # simlint: disable=DET003 -- sanctioned wall-time measurement of the run itself
-        self.ctx.engine.run(until=self.config.duration)
+        # The built world (peers, stores, catalog — millions of objects
+        # at scale) is long-lived: freeze it out of the cyclic collector
+        # so every mid-run full collection stops re-tracing it.  GC
+        # timing is invisible to the simulation (no RNG, no scheduling),
+        # so this cannot move the trajectory.
+        gc.collect()
+        gc.freeze()
+        try:
+            self.ctx.engine.run(until=self.config.duration)
+        finally:
+            gc.unfreeze()
         for process in self._processes:
             process.stop()
         wall = time.perf_counter() - started  # simlint: disable=DET003 -- sanctioned wall-time measurement of the run itself

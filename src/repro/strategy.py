@@ -50,7 +50,6 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
-from repro.metrics.records import StrategyEpochRecord
 from repro.sim.processes import PeriodicProcess
 from repro.units import seconds_to_minutes
 
@@ -256,28 +255,28 @@ class StrategyDirector:
         metrics = self.ctx.metrics
         windows = self._windows
         last_switch = self._last_switch
-        downloads = metrics.downloads
-        for index in range(self._download_index, len(downloads)):
-            record = downloads[index]
-            window = windows.get(record.peer_id)
-            if window is not None and record.request_time >= last_switch.get(
-                record.peer_id, 0.0
-            ):
+        # Incremental row feeds: scalar tuples rather than record objects,
+        # so the columnar backend never materializes dataclasses here.
+        num_downloads = metrics.num_downloads
+        for peer_id, request_time, complete_time, download_time in (
+            metrics.download_rows_since(self._download_index)
+        ):
+            window = windows.get(peer_id)
+            if window is not None and request_time >= last_switch.get(peer_id, 0.0):
                 window.downloads.append(
-                    (record.complete_time, seconds_to_minutes(record.download_time))
+                    (complete_time, seconds_to_minutes(download_time))
                 )
-        self._download_index = len(downloads)
-        sessions = metrics.sessions
-        for index in range(self._session_index, len(sessions)):
-            record = sessions[index]
-            window = windows.get(record.requester_id)
-            if window is not None and record.request_time >= last_switch.get(
-                record.requester_id, 0.0
+        self._download_index = num_downloads
+        num_sessions = metrics.num_sessions
+        for requester_id, request_time, end_time, is_exchange in (
+            metrics.session_rows_since(self._session_index)
+        ):
+            window = windows.get(requester_id)
+            if window is not None and request_time >= last_switch.get(
+                requester_id, 0.0
             ):
-                window.sessions.append(
-                    (record.end_time, record.traffic_class.is_exchange)
-                )
-        self._session_index = len(sessions)
+                window.sessions.append((end_time, is_exchange))
+        self._session_index = num_sessions
 
     def payoff(self, peer: "Peer", spec: StrategySpec) -> Optional[float]:
         """The peer's realized payoff over its window; None without data.
@@ -410,18 +409,16 @@ class StrategyDirector:
         self._epoch += 1
         enrolled, sharing = self._enrolled_sharing_counts()
         ctx.metrics.count("strategy.epoch")
-        ctx.metrics.record_strategy_epoch(
-            StrategyEpochRecord(
-                time=now,
-                epoch=self._epoch,
-                enrolled=enrolled,
-                sharing=sharing,
-                revised=revised,
-                switched_to_sharing=to_sharing,
-                switched_to_freeloading=to_freeloading,
-                mean_payoff_sharing=mean_sharing,
-                mean_payoff_freeloading=mean_freeloading,
-            )
+        ctx.metrics.add_strategy_epoch(
+            time=now,
+            epoch=self._epoch,
+            enrolled=enrolled,
+            sharing=sharing,
+            revised=revised,
+            switched_to_sharing=to_sharing,
+            switched_to_freeloading=to_freeloading,
+            mean_payoff_sharing=mean_sharing,
+            mean_payoff_freeloading=mean_freeloading,
         )
 
     def _target(

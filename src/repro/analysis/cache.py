@@ -1,0 +1,306 @@
+"""Incremental lint cache and the ``--changed`` git-diff mode.
+
+The cache makes pre-commit-sized runs cheap.  Its unit of work is the
+*per-file* analysis (parsing plus every module-scope rule), keyed by a
+sha256 of the file's bytes and a fingerprint of the selected rule set:
+
+* a file whose hash matches the cache replays its stored findings
+  without being parsed;
+* project-scope rules (call graph, fingerprint closure) depend on all
+  files at once, so their findings are cached under a fingerprint of
+  the whole file set — a fully warm run replays them without parsing
+  anything, and any change reruns them over the freshly parsed
+  project (module-scope work for unchanged files is still replayed).
+
+``--changed`` adds the pre-commit trust model on top: files git
+reports as untouched that have no cache entry are *skipped* (trusted
+clean) rather than analyzed, so even a cold run only analyzes the
+working-tree diff.  Skipped files are never written to the cache, so
+a later full run cannot replay a verdict that was never computed.
+The CI job runs the full tree with no cache and stays authoritative.
+
+Cached findings are stored *after* suppression filtering but *before*
+baseline subtraction — baselines are cheap and may change between
+runs without invalidating the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.framework import (
+    Finding,
+    LintReport,
+    ParsedModule,
+    Project,
+    Rule,
+    apply_baseline,
+    is_project_rule,
+    iter_python_files,
+    module_findings,
+    parse_module,
+    project_findings,
+    syntax_finding,
+    _display_path,
+)
+
+#: Bump to invalidate every cache on disk (schema or semantics change).
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache location (repo root; gitignored).
+DEFAULT_CACHE_PATH = ".simlint-cache.json"
+
+
+@dataclass
+class CacheStats:
+    """What the cached run actually did, for the CLI status line."""
+
+    analyzed: int = 0  #: files parsed and checked this run
+    replayed: int = 0  #: files served from the cache
+    skipped: int = 0  #: files trusted clean by ``--changed``
+    finalized: bool = False  #: whether project-scope rules reran
+
+
+@dataclass
+class _FileEntry:
+    digest: str
+    findings: List[Finding] = field(default_factory=list)
+
+
+def rulepack_fingerprint(rules: Sequence[Rule]) -> str:
+    """Cache key component identifying the selected rule set."""
+    names = ",".join(sorted(rule.name for rule in rules))
+    payload = f"v{CACHE_SCHEMA_VERSION}:{names}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _file_digest(path: str) -> str:
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+def _finding_from_dict(record: Dict[str, object]) -> Finding:
+    return Finding(
+        str(record["rule"]),
+        str(record["path"]),
+        int(record["line"]),  # type: ignore[arg-type]
+        int(record["col"]),  # type: ignore[arg-type]
+        str(record["message"]),
+        severity=str(record.get("severity", "error")),
+    )
+
+
+def load_cache(path: str, fingerprint: str) -> Dict[str, object]:
+    """The cache payload, or an empty one on miss/mismatch/corruption."""
+    empty: Dict[str, object] = {"files": {}, "project": None}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return empty
+    if not isinstance(data, dict) or data.get("fingerprint") != fingerprint:
+        return empty
+    return {"files": data.get("files", {}), "project": data.get("project")}
+
+
+def write_cache(
+    path: str,
+    fingerprint: str,
+    files: Dict[str, _FileEntry],
+    project_digest: str,
+    project_results: Optional[List[Finding]],
+) -> None:
+    """Persist the cache atomically (best effort)."""
+    payload: Dict[str, object] = {
+        "version": CACHE_SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "files": {
+            display: {
+                "hash": entry.digest,
+                "findings": [f.to_dict() for f in entry.findings],
+            }
+            for display, entry in sorted(files.items())
+        },
+    }
+    if project_results is not None:
+        payload["project"] = {
+            "hash": project_digest,
+            "findings": [f.to_dict() for f in project_results],
+        }
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        # A read-only checkout must not break linting.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def git_changed_files() -> Optional[Set[str]]:
+    """Display paths of files git considers changed, or None on failure.
+
+    Changed means modified/added relative to ``HEAD`` (staged or not)
+    plus untracked-but-not-ignored — the set a pre-commit run needs to
+    look at.
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed: Set[str] = set()
+    for line in (diff + untracked).splitlines():
+        line = line.strip()
+        if line:
+            changed.add(_display_path(os.path.join(top, line)))
+    return changed
+
+
+def run_lint_cached(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    baseline: Optional[Set[Tuple[str, str, int]]],
+    cache_path: str,
+    changed: Optional[Set[str]] = None,
+) -> Tuple[LintReport, CacheStats]:
+    """:func:`repro.analysis.framework.run_lint` with the incremental cache.
+
+    ``changed`` of ``None`` means every cache miss is analyzed (plain
+    ``--cache`` mode); a set enables the ``--changed`` trust model
+    described in the module docstring.
+    """
+    fingerprint = rulepack_fingerprint(rules)
+    cache = load_cache(cache_path, fingerprint)
+    cached_files = cache["files"]
+    assert isinstance(cached_files, dict)
+    stats = CacheStats()
+
+    file_list: List[Tuple[str, str, str]] = []  # (path, display, digest)
+    for root in paths:
+        for file_path in iter_python_files(root):
+            file_list.append(
+                (file_path, _display_path(file_path), _file_digest(file_path))
+            )
+
+    findings: List[Finding] = []
+    next_files: Dict[str, _FileEntry] = {}
+    parsed: Dict[str, ParsedModule] = {}
+    deferred: List[Tuple[str, str, str]] = []  # --changed trust candidates
+    any_change = False
+
+    def analyze(file_path: str, display: str, digest: str) -> None:
+        try:
+            module = parse_module(file_path)
+        except SyntaxError as error:
+            fresh = [syntax_finding(file_path, error)]
+        else:
+            parsed[display] = module
+            fresh = module_findings(module, rules)
+        findings.extend(fresh)
+        next_files[display] = _FileEntry(digest, fresh)
+        stats.analyzed += 1
+
+    for file_path, display, digest in file_list:
+        entry = cached_files.get(display)
+        if isinstance(entry, dict) and entry.get("hash") == digest:
+            replayed = [
+                _finding_from_dict(record)
+                for record in entry.get("findings", [])
+            ]
+            findings.extend(replayed)
+            next_files[display] = _FileEntry(digest, replayed)
+            stats.replayed += 1
+            continue
+        any_change = True
+        if changed is not None and display not in changed:
+            deferred.append((file_path, display, digest))
+            continue
+        analyze(file_path, display, digest)
+
+    project_digest = hashlib.sha256(
+        json.dumps(
+            sorted((display, digest) for _, display, digest in file_list)
+        ).encode("utf-8")
+    ).hexdigest()
+
+    project_results: Optional[List[Finding]] = None
+    has_project_rules = any(is_project_rule(rule) for rule in rules)
+    # No project rules ⇒ no project pass exists to replay; keep the
+    # "project pass replayed" marker for actual replays only.
+    stats.finalized = not has_project_rules
+    cached_project = cache["project"]
+    replay_project = (
+        has_project_rules
+        and not any_change
+        and isinstance(cached_project, dict)
+        and cached_project.get("hash") == project_digest
+    )
+    if has_project_rules and not replay_project:
+        # Project rules see every module, so the --changed trust model
+        # cannot skip anything this run: analyze the deferred files too
+        # (caching them, so the next run replays instead), and re-parse
+        # cache hits for the project pass only.
+        for file_path, display, digest in deferred:
+            analyze(file_path, display, digest)
+        deferred = []
+        project = Project()
+        for file_path, display, _digest in file_list:
+            module = parsed.get(display)
+            if module is None and display not in parsed:
+                try:
+                    module = parse_module(file_path)
+                except SyntaxError:
+                    continue
+                parsed[display] = module
+            if module is None:
+                module = parsed.get(display)
+            if module is not None:
+                project.modules.append(module)
+        project_results = project_findings(project, rules)
+        stats.finalized = True
+        findings.extend(project_results)
+    elif replay_project and isinstance(cached_project, dict):
+        project_results = [
+            _finding_from_dict(record)
+            for record in cached_project.get("findings", [])
+        ]
+        findings.extend(project_results)
+    stats.skipped = len(deferred)
+
+    write_cache(cache_path, fingerprint, next_files, project_digest, project_results)
+    findings, stale = apply_baseline(findings, baseline)
+    findings.sort(key=lambda f: f.sort_key)
+    return (
+        LintReport(
+            findings=findings,
+            files_checked=len(file_list),
+            stale_baseline=stale,
+        ),
+        stats,
+    )

@@ -47,9 +47,12 @@ SUPPRESSION_RULE = "SUP001"
 #: Rule id used for files that fail to parse (not suppressible).
 SYNTAX_RULE = "SYN001"
 
+# The reason group is lazy (not ``.*\S``) so a whitespace-only reason
+# still parses and is reported as "without a reason" rather than as an
+# unparseable comment — the actionable message for the likelier typo.
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
-    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+    r"(?:\s*--\s*(?P<reason>.*?))?\s*$"
 )
 
 
@@ -62,6 +65,9 @@ class Finding:
     line: int
     col: int
     message: str
+    #: ``"error"`` findings gate CI (exit 1); ``"warn"`` findings are
+    #: reported but never flip the exit code.
+    severity: str = "error"
 
     @property
     def sort_key(self) -> Tuple[str, int, int, str]:
@@ -76,11 +82,18 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
     def render(self) -> str:
-        """Human-readable one-liner, ``path:line:col: RULE message``."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        """Human-readable one-liner, ``path:line:col: RULE message``.
+
+        Warnings carry a ``[warn]`` marker; errors keep the historical
+        unmarked form so baselines, CI grep patterns and test
+        expectations written against v1 output stay valid.
+        """
+        marker = " [warn]" if self.severity == "warn" else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{marker} {self.message}"
 
 
 @dataclass(frozen=True)
@@ -106,6 +119,7 @@ class ParsedModule:
         #: malformed-suppression findings discovered while parsing comments
         self.meta_findings: List[Finding] = []
         self._parse_suppressions()
+        self._extend_to_decorated_defs()
 
     def _iter_comments(self) -> Iterator[Tuple[int, int, str]]:
         """``(line, col, text)`` for every real comment token.
@@ -172,6 +186,28 @@ class ParsedModule:
             applies_to = lineno if code_before else lineno + 1
             self.suppressions[applies_to] = Suppression(applies_to, rules, reason)
 
+    def _extend_to_decorated_defs(self) -> None:
+        """Let a suppression above a decorator shield the decorated def.
+
+        A standalone suppression comment applies to the next line; for
+        a decorated function or class that next line is the first
+        decorator, while rules anchor their findings at the ``def`` /
+        ``class`` line.  Alias any suppression that lands on a
+        decorator line onto the definition's own line so the natural
+        comment placement (directly above the decorator stack) works.
+        """
+        for node in ast.walk(self.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for decorator in node.decorator_list:
+                suppression = self.suppressions.get(decorator.lineno)
+                if suppression is not None and node.lineno not in self.suppressions:
+                    self.suppressions[node.lineno] = Suppression(
+                        node.lineno, suppression.rules, suppression.reason
+                    )
+
     def is_suppressed(self, rule: str, line: int) -> bool:
         """Whether ``rule`` is inline-suppressed for findings on ``line``."""
         suppression = self.suppressions.get(line)
@@ -183,6 +219,10 @@ class Project:
     """Every parsed module of one lint run, for cross-module rules."""
 
     modules: List[ParsedModule] = field(default_factory=list)
+    #: Scratch space for expensive cross-module artifacts (the call
+    #: graph from :mod:`repro.analysis.project` caches itself here so
+    #: several project-scope rules share one build).
+    cache: Dict[str, object] = field(default_factory=dict)
 
     def module_by_path(self, display_path: str) -> Optional[ParsedModule]:
         """The module whose display path matches, or None."""
@@ -205,6 +245,13 @@ class Rule:
     name: str = "RULE"
     summary: str = ""
     rationale: str = ""
+    #: Default severity stamped on this rule's findings ("error"/"warn").
+    severity: str = "error"
+    #: ``"module"`` rules see one file at a time and their per-file
+    #: verdicts can be replayed from the incremental cache; ``"project"``
+    #: rules need every module (call graph, fingerprint closure) and
+    #: rerun whenever any file changed.
+    scope: str = "module"
 
     def check_module(self, module: ParsedModule) -> Iterable[Finding]:
         """Findings local to one module (default: none)."""
@@ -213,6 +260,11 @@ class Rule:
     def finalize(self, project: Project) -> Iterable[Finding]:
         """Cross-module findings after every module was seen (default: none)."""
         return ()
+
+
+def is_project_rule(rule: Rule) -> bool:
+    """Whether ``rule`` needs the whole project (cross-module state)."""
+    return rule.scope == "project" or type(rule).finalize is not Rule.finalize
 
 
 #: Global registry: rule name -> rule class.
@@ -299,11 +351,97 @@ class LintReport:
 
     findings: List[Finding]
     files_checked: int
+    #: Baseline ``(rule, path, line)`` triples that matched no finding —
+    #: dead weight the CLI refuses unless ``--prune-baseline`` is given.
+    stale_baseline: List[Tuple[str, str, int]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         """True when no findings survived suppression and baseline."""
         return not self.findings
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Findings that gate the exit code."""
+        return [f for f in self.findings if f.severity != "warn"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Advisory findings (reported, never exit 1 on their own)."""
+        return [f for f in self.findings if f.severity == "warn"]
+
+
+def syntax_finding(file_path: str, error: SyntaxError) -> Finding:
+    """The SYN001 finding for a file that failed to parse."""
+    return Finding(
+        SYNTAX_RULE,
+        _display_path(file_path),
+        error.lineno or 1,
+        (error.offset or 0) + 1,
+        f"syntax error: {error.msg}",
+    )
+
+
+def module_findings(module: ParsedModule, rules: Sequence[Rule]) -> List[Finding]:
+    """Meta findings plus every module-scope rule verdict for one file.
+
+    This is the per-file unit of work the incremental cache replays:
+    project-scope rules are deliberately excluded (their verdicts
+    depend on other files), handled by :func:`project_findings`.
+    """
+    findings = list(module.meta_findings)
+    for rule in rules:
+        if is_project_rule(rule):
+            continue
+        for finding in rule.check_module(module):
+            if not module.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def project_findings(project: Project, rules: Sequence[Rule]) -> List[Finding]:
+    """Run every project-scope rule over the fully parsed project."""
+    findings: List[Finding] = []
+    for rule in rules:
+        if not is_project_rule(rule):
+            continue
+        for module in project.modules:
+            for finding in rule.check_module(module):
+                if not module.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        for finding in rule.finalize(project):
+            module_for = project.module_by_path(finding.path)
+            if module_for is not None and module_for.is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Optional[Set[Tuple[str, str, int]]],
+) -> Tuple[List[Finding], List[Tuple[str, str, int]]]:
+    """Subtract baseline matches; also report entries that matched nothing.
+
+    Stale entries are the adoption debt this tool exists to burn down:
+    silently carrying them would let a fixed finding's baseline slot be
+    recycled by a *new* finding at the same location, so the CLI treats
+    them as an error unless explicitly pruned.
+    """
+    if not baseline:
+        return list(findings), []
+    kept: List[Finding] = []
+    matched: Set[Tuple[str, str, int]] = set()
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.line)
+        if key in baseline:
+            matched.add(key)
+        else:
+            kept.append(finding)
+    stale = sorted(baseline - matched)
+    return kept, stale
 
 
 def run_lint(
@@ -327,34 +465,18 @@ def run_lint(
             try:
                 module = parse_module(file_path)
             except SyntaxError as error:
-                findings.append(
-                    Finding(
-                        SYNTAX_RULE,
-                        _display_path(file_path),
-                        error.lineno or 1,
-                        (error.offset or 0) + 1,
-                        f"syntax error: {error.msg}",
-                    )
-                )
+                findings.append(syntax_finding(file_path, error))
                 continue
             project.modules.append(module)
-            findings.extend(module.meta_findings)
-            for rule in rules:
-                for finding in rule.check_module(module):
-                    if not module.is_suppressed(finding.rule, finding.line):
-                        findings.append(finding)
-    for rule in rules:
-        for finding in rule.finalize(project):
-            module = project.module_by_path(finding.path)
-            if module is not None and module.is_suppressed(finding.rule, finding.line):
-                continue
-            findings.append(finding)
-    if baseline:
-        findings = [
-            f for f in findings if (f.rule, f.path, f.line) not in baseline
-        ]
+            findings.extend(module_findings(module, rules))
+    findings.extend(project_findings(project, rules))
+    findings, stale = apply_baseline(findings, baseline)
     findings.sort(key=lambda f: f.sort_key)
-    return LintReport(findings=findings, files_checked=len(project.modules))
+    return LintReport(
+        findings=findings,
+        files_checked=len(project.modules),
+        stale_baseline=stale,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,10 @@ FPR001    every spec dataclass reachable from ``SimulationConfig`` is
           fully covered by the cache fingerprint
 ========  =============================================================
 
+The columnar hot-core contract rules (``HOT001``, ``NUM001``,
+``MIR001``, ``VER001``) live in :mod:`repro.analysis.contracts`, built
+on the cross-module call graph of :mod:`repro.analysis.project`.
+
 The rules are syntactic: they see one AST, not runtime types, so each
 documents the receiver/shape heuristics it relies on.  False positives
 are expected to be rare and are silenced inline with a reasoned
@@ -127,6 +131,7 @@ def _finding(
         getattr(node, "lineno", 1),
         getattr(node, "col_offset", 0) + 1,
         message,
+        severity=rule.severity,
     )
 
 
@@ -574,6 +579,7 @@ class FingerprintCoverageRule(Rule):
     """FPR001: config specs must be fully fingerprint-covered."""
 
     name = "FPR001"
+    scope = "project"
     summary = "every spec dataclass reachable from SimulationConfig is fingerprinted"
     rationale = (
         "The experiment cache is keyed by a hash of SimulationConfig.to_dict(); "

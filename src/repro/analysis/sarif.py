@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 rendering for ``repro-lint --format sarif``.
+
+GitHub code scanning ingests SARIF, so the static-analysis CI job can
+upload simlint findings and have them annotate PRs inline.  Only the
+slice of the (large) SARIF spec that code scanning consumes is
+emitted: one run, the rule metadata under ``tool.driver.rules``, and
+one ``result`` per finding with a physical location.
+
+Paths are emitted exactly as simlint displays them (repo-relative,
+forward slashes), which is what the upload action expects when run
+from the repository root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.framework import (
+    RULE_REGISTRY,
+    LintReport,
+    Rule,
+    SUPPRESSION_RULE,
+    SYNTAX_RULE,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Meta rules that have no Rule class but can appear in findings.
+_META_RULES: Dict[str, str] = {
+    SUPPRESSION_RULE: "malformed or unexplained simlint suppression comment",
+    SYNTAX_RULE: "file failed to parse",
+}
+
+
+def _level(severity: str) -> str:
+    return "warning" if severity == "warn" else "error"
+
+
+def _rule_metadata(rules: Sequence[Rule]) -> List[Dict[str, object]]:
+    entries: List[Dict[str, object]] = []
+    for rule in sorted(rules, key=lambda r: r.name):
+        entries.append(
+            {
+                "id": rule.name,
+                "shortDescription": {"text": rule.summary or rule.name},
+                "fullDescription": {"text": rule.rationale or rule.summary},
+                "help": {"text": "See docs/DETERMINISM.md for the full rationale."},
+                "defaultConfiguration": {"level": _level(rule.severity)},
+            }
+        )
+    for name, summary in sorted(_META_RULES.items()):
+        entries.append(
+            {
+                "id": name,
+                "shortDescription": {"text": summary},
+                "fullDescription": {"text": summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return entries
+
+
+def sarif_payload(report: LintReport, rules: Sequence[Rule]) -> Dict[str, object]:
+    """The SARIF document for one lint run."""
+    rule_entries = _rule_metadata(rules)
+    rule_index = {entry["id"]: i for i, entry in enumerate(rule_entries)}
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def default_rule_metadata() -> List[Dict[str, object]]:
+    """Metadata rows for every registered rule (documentation helper)."""
+    return _rule_metadata([RULE_REGISTRY[name]() for name in sorted(RULE_REGISTRY)])

@@ -49,7 +49,7 @@ def open_wants(peer: "Peer", only_object: Optional[int] = None) -> Dict[int, Set
     copy-with-exclude is observationally identical.
     """
     lookup = peer.ctx.lookup
-    wants: Dict[int, Set[int]] = {}
+    wants: Dict[int, Set[int]] = {}  # simlint: disable=HOT001 -- one scratch dict per search pass, not per event; passes are gated by the idle-search version check
     for object_id, download in peer.pending.items():
         if only_object is not None and object_id != only_object:
             continue
@@ -148,7 +148,7 @@ def try_form_exchanges(
     # (requester, provider, object, size) edges many times (one busy
     # entry anchors hundreds of paths), and between commits nothing a
     # token pass reads can change.  Cleared after every commit.
-    memo: Dict[Tuple[int, int, int, int], Optional[Tuple[str, int]]] = {}
+    memo: Dict[Tuple[int, int, int, int], Optional[Tuple[str, int]]] = {}  # simlint: disable=HOT001 -- one memo per search pass; it exists to *remove* per-candidate work, and passes are version-gated
     for candidate in policy.order(candidates):
         download = pending.get(candidate.want_object_id)
         if (

@@ -126,7 +126,7 @@ class RequestEntry:
             return occ.get(peer_id, _NO_PATHS)
         cache = self._paths
         if cache is None:
-            cache = {}
+            cache = {}  # simlint: disable=HOT001 -- lazy once-per-entry path cache (amortizes per-event work); dropped on set_tree
             self._paths = cache
         paths = cache.get(peer_id)
         if paths is None:
@@ -379,7 +379,7 @@ class IncomingRequestQueue:
             self._dead_in_index < 64 or self._dead_in_index < len(self._entries)
         ):
             return
-        new_index: Dict[int, List[RequestEntry]] = {}
+        new_index: Dict[int, List[RequestEntry]] = {}  # simlint: disable=HOT001 -- amortized compaction: runs once per 64+ dead entries, not per event
         bucket_of = new_index.get
         for entry in self._entries.values():
             for peer_id in entry._indexed:

@@ -219,7 +219,7 @@ class PeerStateTable:
             return entry[2]
         mask = np.zeros(capacity, dtype=bool)
         mask[list(providers)] = True
-        self._provider_masks[object_id] = (object_version, capacity, mask)
+        self._provider_masks[object_id] = (object_version, capacity, mask)  # simlint: disable=VER001 -- mask cache keyed by (object_version, capacity); column writes bump version independently
         return mask
 
     def _index_mask(
@@ -235,7 +235,7 @@ class PeerStateTable:
             return entry[2]
         mask = np.zeros(capacity, dtype=bool)
         mask[list(index_keys)] = True
-        self._index_masks[searcher_id] = (irq_version, capacity, mask)
+        self._index_masks[searcher_id] = (irq_version, capacity, mask)  # simlint: disable=VER001 -- mask cache keyed by (irq_version, capacity); a stale entry needs a stale version first
         return mask
 
     def sorted_intersection(

@@ -166,7 +166,8 @@ class _ColumnTable:
     def nbytes(self) -> int:
         """Approximate frozen-storage footprint in bytes (chunks only)."""
         return sum(
-            arr.nbytes for chunks in self._chunks.values() for arr in chunks
+            (arr.nbytes for chunks in self._chunks.values() for arr in chunks),
+            0,
         )
 
 

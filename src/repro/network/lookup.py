@@ -154,7 +154,7 @@ class LookupService:
             if not live:
                 return []
             cached = sorted(live)
-            self._sorted[object_id] = cached
+            self._sorted[object_id] = cached  # simlint: disable=VER001 -- read-through cache rebuilt from the live set; register/unregister drop it and bump
         return cached
 
     def find_providers(

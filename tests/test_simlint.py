@@ -11,7 +11,11 @@ when a determinism invariant is broken.
 from __future__ import annotations
 
 import json
+import shutil
+import subprocess
 import textwrap
+
+import pytest
 
 from repro.analysis import (
     RULE_REGISTRY,
@@ -21,6 +25,7 @@ from repro.analysis import (
     load_baseline,
     parse_module,
     run_lint,
+    run_lint_cached,
     walk_with_ancestors,
 )
 from repro.analysis.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
@@ -97,6 +102,62 @@ class TestSuppressionParsing:
             """,
         )
         report = run_lint([path])
+        assert report.clean
+
+    def test_whitespace_only_reason_is_reported_and_does_not_shield(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+            t = time.time()  # simlint: disable=DET003 --   \n""",
+        )
+        report = run_lint([path])
+        rules = {f.rule for f in report.findings}
+        assert SUPPRESSION_RULE in rules
+        assert "DET003" in rules
+        sup = next(f for f in report.findings if f.rule == SUPPRESSION_RULE)
+        assert "without a reason" in sup.message
+
+    def test_suppression_above_decorator_covers_the_def(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """\
+            import functools
+            import time
+
+            # simlint: disable=DET003 -- memoized wall clock for display only
+            @functools.lru_cache(maxsize=1)
+            def stamp():
+                return time.time()
+            """,
+        )
+        report = run_lint([path])
+        # The comment lands on the decorator line; the offending call is
+        # inside the decorated def.  Decorator-line suppressions must
+        # extend to the ``def`` line, but time.time() is two lines down,
+        # so only a def-line rule would be shielded — the call itself is
+        # still flagged.  Check the alias exists via the parsed module.
+        module = parse_module(path)
+        assert 5 in module.suppressions  # the decorator line
+        assert 6 in module.suppressions  # aliased onto the def line
+        assert report.findings  # the body call is NOT shielded
+
+    def test_multi_rule_disable_covers_v2_rules(self, tmp_path):
+        path = write(
+            tmp_path,
+            "columnar.py",
+            """\
+            import numpy as np
+
+            def total(values):
+                return np.sum(values)  # simlint: disable=NUM001,DET003 -- fixture exemption
+            """,
+        )
+        report = run_lint(
+            [path], rules=[RULE_REGISTRY["NUM001"](), RULE_REGISTRY["DET003"]()]
+        )
         assert report.clean
 
     def test_suppression_inside_string_literal_is_ignored(self, tmp_path):
@@ -266,6 +327,232 @@ class TestCli:
         path = write(tmp_path, "mod.py", "x = 1\n")
         assert main(["--baseline", str(tmp_path / "absent.json"), path]) == EXIT_ERROR
         capsys.readouterr()
+
+
+class TestStaleBaseline:
+    def _baseline_with_ghost(self, tmp_path, path):
+        report = run_lint([path])
+        payload = baseline_payload(report.findings)
+        payload["findings"].append({"rule": "DET003", "path": "gone.py", "line": 9})
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(json.dumps(payload), encoding="utf-8")
+        return baseline_file
+
+    def test_stale_entry_fails_the_run(self, tmp_path, capsys):
+        """Regression: paid-off debt must not linger silently in the baseline."""
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        baseline_file = self._baseline_with_ghost(tmp_path, path)
+        assert main(["--baseline", str(baseline_file), path]) == EXIT_FINDINGS
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "gone.py:9" in err
+        assert "--prune-baseline" in err
+
+    def test_prune_baseline_rewrites_and_passes(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        baseline_file = self._baseline_with_ghost(tmp_path, path)
+        assert (
+            main(["--prune-baseline", "--baseline", str(baseline_file), path])
+            == EXIT_CLEAN
+        )
+        assert "pruned 1 stale baseline entry" in capsys.readouterr().out
+        pruned = json.loads(baseline_file.read_text(encoding="utf-8"))
+        assert {f["path"] for f in pruned["findings"]} == {
+            run_lint([path]).findings[0].path
+        }
+        # The pruned file now round-trips cleanly.
+        assert main(["--baseline", str(baseline_file), path]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_report_carries_stale_entries(self, tmp_path):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        report = run_lint([path], baseline={("DET003", "gone.py", 9)})
+        assert report.stale_baseline == [("DET003", "gone.py", 9)]
+
+    def test_prune_without_baseline_is_usage_error(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["--prune-baseline", path]) == EXIT_ERROR
+        assert "requires --baseline" in capsys.readouterr().err
+
+
+class TestSarifOutput:
+    def test_sarif_shape_and_result(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        assert main(["--format", "sarif", path]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema" in payload["$schema"]
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "DET003" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET003"
+        assert result["level"] == "error"
+        assert rule_ids[result["ruleIndex"]] == "DET003"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("mod.py")
+        assert location["region"]["startLine"] == 2
+
+    def test_clean_sarif_has_empty_results(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        assert main(["--format", "sarif", path]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+    def test_warn_demotion_maps_to_sarif_warning_level(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        assert (
+            main(["--format", "sarif", "--warn", "DET003", path]) == EXIT_CLEAN
+        )
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload["runs"][0]["results"]
+        assert result["level"] == "warning"
+
+
+class TestIncrementalCache:
+    def test_warm_run_replays_without_analyzing(self, tmp_path):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        cache = tmp_path / "cache.json"
+        rules = [RULE_REGISTRY["DET003"]()]
+        report, stats = run_lint_cached([path], rules, None, str(cache))
+        assert [f.rule for f in report.findings] == ["DET003"]
+        assert (stats.analyzed, stats.replayed) == (1, 0)
+        report, stats = run_lint_cached([path], rules, None, str(cache))
+        assert [f.rule for f in report.findings] == ["DET003"]
+        assert (stats.analyzed, stats.replayed) == (0, 1)
+
+    def test_edit_invalidates_only_the_touched_file(self, tmp_path):
+        a = write(tmp_path, "a.py", "x = 1\n")
+        b = write(tmp_path, "b.py", "y = 2\n")
+        cache = tmp_path / "cache.json"
+        rules = [RULE_REGISTRY["DET003"]()]
+        run_lint_cached([a, b], rules, None, str(cache))
+        write(tmp_path, "b.py", "import time\ny = time.time()\n")
+        report, stats = run_lint_cached([a, b], rules, None, str(cache))
+        assert (stats.analyzed, stats.replayed) == (1, 1)
+        assert [f.rule for f in report.findings] == ["DET003"]
+
+    def test_changing_the_rulepack_invalidates_everything(self, tmp_path):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        cache = tmp_path / "cache.json"
+        run_lint_cached([path], [RULE_REGISTRY["DET003"]()], None, str(cache))
+        _, stats = run_lint_cached(
+            [path], [RULE_REGISTRY["DET001"]()], None, str(cache)
+        )
+        assert (stats.analyzed, stats.replayed) == (1, 0)
+
+    def test_project_pass_is_replayed_when_nothing_changed(self, tmp_path):
+        path = write(
+            tmp_path,
+            "transfer.py",
+            """\
+            def kick(engine):
+                engine.schedule(1.0, worker)
+
+            def worker():
+                return {"a": 1}
+            """,
+        )
+        cache = tmp_path / "cache.json"
+        rules = [RULE_REGISTRY["HOT001"]()]
+        report, stats = run_lint_cached([path], rules, None, str(cache))
+        assert [f.rule for f in report.findings] == ["HOT001"]
+        assert stats.finalized
+        report, stats = run_lint_cached([path], rules, None, str(cache))
+        assert [f.rule for f in report.findings] == ["HOT001"]
+        assert not stats.finalized  # replayed from the project digest
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        report, stats = run_lint_cached(
+            [path], [RULE_REGISTRY["DET003"]()], None, str(cache)
+        )
+        assert report.clean
+        assert stats.analyzed == 1
+
+    def test_cli_reports_cache_stats(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "x = 1\n")
+        cache = tmp_path / "cache.json"
+        assert main(["--cache", str(cache), path]) == EXIT_CLEAN
+        assert "1 analyzed, 0 replayed" in capsys.readouterr().out
+        assert main(["--cache", str(cache), path]) == EXIT_CLEAN
+        assert "0 analyzed, 1 replayed" in capsys.readouterr().out
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git not available")
+class TestChangedMode:
+    def _git(self, cwd, *argv):
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t", *argv],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+        )
+
+    def test_changed_mode_skips_committed_unchanged_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        write(tmp_path, "a.py", "x = 1\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "a.py")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        write(tmp_path, "b.py", "import time\nt = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        cache = tmp_path / "cache.json"
+        code = main(
+            ["--changed", "--cache", str(cache), "--select", "DET003", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_FINDINGS
+        assert "DET003" in out
+        # a.py is committed and untouched: trusted without analysis.
+        assert "1 analyzed, 0 replayed, 1 skipped" in out
+
+    def test_outside_a_repo_falls_back_to_analyzing_everything(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "definitely-not-a-repo"))
+        write(tmp_path, "a.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        cache = tmp_path / "cache.json"
+        code = main(
+            ["--changed", "--cache", str(cache), "--select", "DET003", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_CLEAN
+        assert "git diff failed" in captured.err
+        assert "1 analyzed" in captured.out
+
+
+class TestExplainAndWarn:
+    def test_explain_prints_rule_documentation(self, capsys):
+        assert main(["--explain", "HOT001"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "HOT001" in out
+        assert "scope: project (cross-module)" in out
+        assert "simlint: disable=HOT001" in out
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--explain", "NOPE123"]) == EXIT_ERROR
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_warn_demotion_reports_but_exits_clean(self, tmp_path, capsys):
+        path = write(tmp_path, "mod.py", "import time\nt = time.time()\n")
+        assert main(["--warn", "DET003", path]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "[warn]" in out
+        assert "0 error(s), 1 warning(s)" in out
+
+    def test_undemoted_rules_still_fail(self, tmp_path, capsys):
+        path = write(
+            tmp_path, "mod.py", "import time\nt = time.time()\na = hash('x')\n"
+        )
+        assert main(["--warn", "DET003", path]) == EXIT_FINDINGS
+        assert "1 error(s), 1 warning(s)" in capsys.readouterr().out
 
 
 class TestCodebaseIsClean:

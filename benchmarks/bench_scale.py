@@ -25,7 +25,15 @@ from conftest import SEED, publish_bench, run_once
 
 
 def _run_scale(**overrides):
-    config = preset("scale", exchange_mechanism="2-5-way", seed=SEED, **overrides)
+    # Perf counters attribute any trajectory movement to a subsystem;
+    # they never feed simulation state, so the trajectory pins hold.
+    config = preset(
+        "scale",
+        exchange_mechanism="2-5-way",
+        seed=SEED,
+        perf_counters=True,
+        **overrides,
+    )
     started = time.perf_counter()
     result = run_simulation(config)
     wall = time.perf_counter() - started
@@ -41,6 +49,7 @@ def test_scale_base(benchmark):
         collector_backend=result.metrics.backend_name,
         scale="scale",
         num_peers=result.config.num_peers,
+        counters=result.perf_counters,
     )
     # A 1000-peer run must actually simulate a working network, not
     # just survive: downloads complete and exchange rings form.
@@ -66,6 +75,7 @@ def test_scale_churn(benchmark):
         num_peers=result.config.num_peers,
         churn_transitions=result.summary.counters.get("churn.offline", 0)
         + result.summary.counters.get("churn.online", 0),
+        counters=result.perf_counters,
     )
     assert result.summary.counters.get("churn.offline", 0) > 0
     # The churn stall fix: downloads keep completing even though

@@ -23,7 +23,7 @@ from conftest import SCALE, SEED, publish_bench, run_once
 
 
 def _run_flashcrowd():
-    base = preset(SCALE, exchange_mechanism="2-5-way", seed=SEED)
+    base = preset(SCALE, exchange_mechanism="2-5-way", seed=SEED, perf_counters=True)
     config = base.replace(scenario=flash_crowd_scenario(base))
     started = time.perf_counter()
     result = run_simulation(config)
@@ -44,6 +44,7 @@ def test_flashcrowd_preset(benchmark):
         flash_objects=summary.counters.get("scenario.flash_objects", 0),
         peers_left=summary.counters.get("scenario.peer_left", 0),
         completed_by_phase=summary.completed_downloads_by_phase,
+        counters=result.perf_counters,
     )
     # The timeline must actually run: all three phases measure
     # completed downloads and every scheduled event applied.

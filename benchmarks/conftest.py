@@ -62,12 +62,19 @@ def peak_rss_mb() -> float:
     return round(peak / 1024.0, 1)
 
 
+#: Shape of the ``counters`` block every bench record carries when the
+#: run had no (enabled) :class:`repro.sim.counters.PerfCounters` — the
+#: block is present unconditionally so downstream tooling can rely on it.
+DISABLED_COUNTERS = {"enabled": False, "counts": {}, "timings_seconds": {}}
+
+
 def publish_bench(
     name: str,
     wall_seconds: float,
     events_fired: Optional[int] = None,
     scale: Optional[str] = None,
     collector_backend: Optional[str] = None,
+    counters: Optional[dict] = None,
     **extra,
 ) -> dict:
     """Write ``BENCH_<name>_<scale>.json`` with the perf measurements.
@@ -76,9 +83,12 @@ def publish_bench(
     ``events_per_second`` is derived when both numbers are present.
     Every record carries the process peak RSS (MB); simulation benches
     pass ``collector_backend`` (``result.metrics.backend_name``) so the
-    trajectory states which metrics core produced it.  Extra keyword
-    fields are stored verbatim (e.g. peer counts), so a bench can carry
-    whatever context makes its trajectory readable.
+    trajectory states which metrics core produced it, and ``counters``
+    (``ctx.counters.snapshot()``) to attribute regressions to a
+    subsystem — omitted, a disabled-empty block is stored so the key is
+    always present.  Extra keyword fields are stored verbatim (e.g.
+    peer counts), so a bench can carry whatever context makes its
+    trajectory readable.
     """
     record = {
         "name": name,
@@ -93,6 +103,7 @@ def publish_bench(
         ),
         "peak_rss_mb": peak_rss_mb(),
         "collector_backend": collector_backend,
+        "counters": counters if counters is not None else dict(DISABLED_COUNTERS),
     }
     record.update(extra)
     os.makedirs(RESULTS_DIR, exist_ok=True)

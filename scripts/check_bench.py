@@ -16,6 +16,15 @@ This script pairs them by filename and enforces two rules:
   machine, so the default tolerance is generous (0.5 — flag only a
   >2x slowdown); the committed baseline documents the machine it came
   from, the guard catches order-of-magnitude regressions.
+* ``peak_rss_mb`` must not balloon: a fresh run above
+  ``rss-tolerance`` x baseline fails.  Peak RSS is far more stable
+  across machines than wall clock (same allocations, same arrays), so
+  its tolerance is tighter — a breach means the run genuinely holds
+  more memory, the exact regression the streaming-retention and
+  columnar cores exist to prevent.
+* ``build_seconds`` (when both records carry it) must not collapse
+  either: the world build is population-bound work guarded at the same
+  generous wall-clock ``tolerance`` as events/sec.
 
 Baselines with no fresh counterpart are skipped (not every CI job runs
 every bench); a results directory with no overlap at all fails, since
@@ -25,7 +34,7 @@ Usage::
 
     python scripts/check_bench.py \
         [--results benchmarks/results] [--baselines benchmarks/baselines] \
-        [--tolerance 0.5]
+        [--tolerance 0.5] [--rss-tolerance 1.5]
 """
 
 from __future__ import annotations
@@ -50,7 +59,7 @@ def load_records(directory: str) -> dict:
 
 
 def compare(
-    baseline: dict, fresh: dict, tolerance: float
+    baseline: dict, fresh: dict, tolerance: float, rss_tolerance: float = 1.5
 ) -> Tuple[bool, List[str]]:
     """(ok, human-readable notes) for one baseline/fresh pair."""
     notes: List[str] = []
@@ -83,6 +92,38 @@ def compare(
                 f"events/sec {fresh_rate:.0f} vs baseline {base_rate:.0f} "
                 f"({ratio:.2f}x)"
             )
+    base_rss = baseline.get("peak_rss_mb")
+    fresh_rss = fresh.get("peak_rss_mb")
+    if base_rss and fresh_rss:
+        ceiling = rss_tolerance * base_rss
+        ratio = fresh_rss / base_rss
+        if fresh_rss > ceiling:
+            ok = False
+            notes.append(
+                f"peak RSS {fresh_rss:.0f}MB > {rss_tolerance:.2f}x baseline "
+                f"{base_rss:.0f}MB ({ratio:.2f}x — the run holds more memory)"
+            )
+        else:
+            notes.append(
+                f"peak RSS {fresh_rss:.0f}MB vs baseline {base_rss:.0f}MB "
+                f"({ratio:.2f}x)"
+            )
+    base_build = baseline.get("build_seconds")
+    fresh_build = fresh.get("build_seconds")
+    if base_build and fresh_build:
+        ceiling = base_build / tolerance
+        ratio = fresh_build / base_build
+        if fresh_build > ceiling:
+            ok = False
+            notes.append(
+                f"build {fresh_build:.1f}s > baseline {base_build:.1f}s / "
+                f"{tolerance:.0%} ({ratio:.2f}x slowdown)"
+            )
+        else:
+            notes.append(
+                f"build {fresh_build:.1f}s vs baseline {base_build:.1f}s "
+                f"({ratio:.2f}x)"
+            )
     return ok, notes
 
 
@@ -96,9 +137,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.5,
         help="minimum fresh/baseline events-per-second ratio (default 0.5)",
     )
+    parser.add_argument(
+        "--rss-tolerance",
+        type=float,
+        default=1.5,
+        help="maximum fresh/baseline peak-RSS ratio (default 1.5)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 < args.tolerance <= 1.0:
         parser.error(f"tolerance must be in (0, 1], got {args.tolerance}")
+    if args.rss_tolerance < 1.0:
+        parser.error(f"rss-tolerance must be >= 1, got {args.rss_tolerance}")
 
     baselines = load_records(args.baselines)
     results = load_records(args.results)
@@ -114,7 +163,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"skip  {name}: no fresh run")
             continue
         compared += 1
-        ok, notes = compare(baseline, fresh, args.tolerance)
+        ok, notes = compare(baseline, fresh, args.tolerance, args.rss_tolerance)
         status = "ok   " if ok else "FAIL "
         print(f"{status}{name}: " + "; ".join(notes))
         if not ok:

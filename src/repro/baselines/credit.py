@@ -53,6 +53,8 @@ def credit_queue_rank(waiting_seconds: float, modifier: float) -> float:
 class CreditLedger:
     """One peer's local per-remote upload/download volume bookkeeping."""
 
+    __slots__ = ("owner_id", "_volumes")
+
     def __init__(self, owner_id: int) -> None:
         self.owner_id = owner_id
         # remote -> (they_uploaded_to_me, they_downloaded_from_me), kbit

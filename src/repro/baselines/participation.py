@@ -22,6 +22,8 @@ MAX_LEVEL = 1.0
 class ParticipationReporter:
     """Tracks one peer's true volumes and reports a participation level."""
 
+    __slots__ = ("owner_id", "cheats", "uploaded_kbit", "downloaded_kbit")
+
     def __init__(self, owner_id: int, cheats: bool = False) -> None:
         self.owner_id = owner_id
         self.cheats = cheats

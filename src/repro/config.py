@@ -134,6 +134,21 @@ class SimulationConfig:
     #: byte-identical summaries; the knob exists for dependency-light
     #: embedding and for the equivalence tests.
     metrics_backend: str = "columnar"
+    #: Metrics retention policy: "full" (every record row stays resident
+    #: and queryable — the historical behaviour and the default) or
+    #: "streaming" (columnar backend only: frozen 4096-row chunks fold
+    #: into running aggregates and are released, so metrics memory is
+    #: flat in run length).  Streaming serves exactly the summary-input
+    #: queries, byte-identically to full retention; record-level views
+    #: raise.  Incompatible with adaptive strategy dynamics, which
+    #: replay raw record rows.
+    metrics_retention: str = "full"
+    #: Enable the per-subsystem perf-counter layer (see
+    #: :mod:`repro.sim.counters`).  Off by default: counters feed
+    #: benchmark artifacts only and never affect the trajectory, but the
+    #: bump branches are not entirely free, so figure runs leave them
+    #: disabled.
+    perf_counters: bool = False
 
     # ------------------------------------------------------------------ extra
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -277,10 +292,34 @@ class SimulationConfig:
                 self.metrics_backend in ("dataclass", "columnar"),
                 f"unknown metrics_backend {self.metrics_backend!r}",
             ),
+            (
+                self.metrics_retention in ("full", "streaming"),
+                f"unknown metrics_retention {self.metrics_retention!r}",
+            ),
         )
         for ok, message in checks:
             if not ok:
                 raise ConfigError(message)
+        if self.metrics_retention == "streaming":
+            if self.metrics_backend != "columnar":
+                raise ConfigError(
+                    "metrics_retention='streaming' requires the columnar "
+                    f"backend, got metrics_backend={self.metrics_backend!r}"
+                )
+            # The strategy layer replays raw record rows each revision
+            # epoch (``*_rows_since``); streaming retention releases
+            # them, so the combination cannot work.
+            dynamic = self.strategy is not None and not self.strategy.is_static
+            dynamic = dynamic or any(
+                spec.strategy is not None and not spec.strategy.is_static
+                for spec in self.population
+            )
+            if dynamic:
+                raise ConfigError(
+                    "metrics_retention='streaming' is incompatible with "
+                    "adaptive strategy dynamics: revision epochs replay "
+                    "raw record rows, which streaming retention releases"
+                )
         # Mechanism strings are validated by the policy factory; import
         # locally to avoid a circular dependency at module load.
         from repro.core.policies import parse_mechanism

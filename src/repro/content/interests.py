@@ -21,6 +21,8 @@ from repro.errors import ConfigError
 class InterestProfile:
     """A peer's categories of interest and its local preference weights."""
 
+    __slots__ = ("category_ids", "weights", "_cumulative")
+
     def __init__(self, category_ids: Sequence[int], weights: Sequence[float]) -> None:
         if not category_ids:
             raise ConfigError("interest profile needs at least one category")

@@ -22,6 +22,8 @@ from repro.errors import StorageError
 class ObjectStore:
     """A bounded set of fully-stored object ids with pin counts."""
 
+    __slots__ = ("capacity", "_objects", "_pins")
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise StorageError(f"storage capacity must be positive, got {capacity}")

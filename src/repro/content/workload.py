@@ -46,6 +46,20 @@ class RequestGenerator:
         disable the filter.
     """
 
+    __slots__ = (
+        "_catalog",
+        "_profile",
+        "_rand",
+        "_object_factor",
+        "_is_known",
+        "_is_locatable",
+        "_cache",
+        "_max_miss_attempts",
+        "candidates_drawn",
+        "hits_skipped",
+        "unlocatable_skipped",
+    )
+
     def __init__(
         self,
         catalog: Catalog,
@@ -69,7 +83,13 @@ class RequestGenerator:
         self._object_factor = object_factor
         self._is_known = is_known
         self._is_locatable = is_locatable
-        self._cache = popularity_cache or PopularityCache()
+        # ``is not None``, not truthiness: PopularityCache defines
+        # __len__, so a shared-but-still-empty cache is falsy and a
+        # plain ``or`` would silently hand every generator its own
+        # private cache (50k duplicate rank tables at the huge preset).
+        self._cache = (
+            popularity_cache if popularity_cache is not None else PopularityCache()
+        )
         self._max_miss_attempts = max_miss_attempts
         self.candidates_drawn = 0
         self.hits_skipped = 0

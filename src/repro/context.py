@@ -16,6 +16,7 @@ from repro.core.peer_table import PeerStateTable
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.columnar import ColumnarCollector
 from repro.metrics.summary import AnyCollector
+from repro.sim.counters import PerfCounters
 from repro.sim.engine import Engine
 from repro.sim.rng import RandomSource
 
@@ -36,12 +37,30 @@ class SimContext:
         metrics: Optional["AnyCollector"] = None,
     ) -> None:
         self.config = config
-        self.engine = engine if engine is not None else Engine()
+        #: Per-subsystem perf counters (see :mod:`repro.sim.counters`);
+        #: disabled unless the config asks — every instrumented path
+        #: guards on the flag, so a disabled set costs one branch.  When
+        #: a prebuilt engine is passed in, its counter set (if any) wins
+        #: so engine-internal tallies and context tallies stay one set.
+        if engine is not None:
+            self.engine = engine
+            self.counters = (
+                engine.counters
+                if engine.counters is not None
+                else PerfCounters(enabled=config.perf_counters)
+            )
+        else:
+            self.counters = PerfCounters(enabled=config.perf_counters)
+            self.engine = Engine(counters=self.counters)
         self.rng = rng if rng is not None else RandomSource(config.seed)
         if metrics is not None:
             self.metrics: "AnyCollector" = metrics
         elif config.metrics_backend == "columnar":
-            self.metrics = ColumnarCollector()
+            self.metrics = ColumnarCollector(
+                retention=config.metrics_retention,
+                warmup=config.warmup,
+                perf_counters=self.counters,
+            )
         else:
             self.metrics = MetricsCollector()
         self.peers: Dict[int, "Peer"] = {}

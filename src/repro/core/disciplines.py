@@ -56,6 +56,8 @@ class ServiceDiscipline:
     #: scheduler can stream the queue without computing keys at all.
     ranked = False
 
+    __slots__ = ("peer_id", "credit", "participation")
+
     def __init__(self, peer_id: int, cheats: bool = False) -> None:
         self.peer_id = peer_id
         self.credit = CreditLedger(peer_id)
@@ -124,6 +126,7 @@ class FifoDiscipline(ServiceDiscipline):
     """Arrival order — the paper's model."""
 
     name = "fifo"
+    __slots__ = ()
 
 
 class CreditDiscipline(ServiceDiscipline):
@@ -131,6 +134,7 @@ class CreditDiscipline(ServiceDiscipline):
 
     name = "credit"
     ranked = True
+    __slots__ = ()
 
     def rank(self, peer: "Peer", entry: "RequestEntry") -> float:
         # One second of base waiting keeps the rank multiplicative even
@@ -147,6 +151,7 @@ class ParticipationDiscipline(ServiceDiscipline):
 
     name = "participation"
     ranked = True
+    __slots__ = ()
 
     def rank(self, peer: "Peer", entry: "RequestEntry") -> float:
         """Priority by the requester's claimed level; waiting time breaks ties."""

@@ -113,10 +113,14 @@ def try_form_exchanges(
     policy = peer.policy
     if not policy.enables_exchanges or not peer.shares:
         return 0
+    counters = peer.ctx.counters
+    counting = counters.enabled
     gate_key = None
     if only_object is None and entries is None:
         gate_key = search_state_key(peer)
         if gate_key == peer.idle_search_key:
+            if counting:
+                counters.bump("ring_search.gated_skips")
             return 0
     wants = open_wants(peer, only_object=only_object)
     if not wants:
@@ -124,6 +128,9 @@ def try_form_exchanges(
             peer.idle_search_key = gate_key
         return 0
     ctx = peer.ctx
+    if counting:
+        counters.bump("ring_search.searches")
+        token = counters.clock()
     candidates = find_candidates(
         peer.peer_id,
         peer.irq,
@@ -133,6 +140,9 @@ def try_form_exchanges(
         peer_table=ctx.peer_table,
         object_version_of=ctx.lookup.object_versions().get,
     )
+    if counting:
+        counters.add_elapsed("ring_search.find_candidates", token)
+        counters.bump("ring_search.candidates", len(candidates))
     if not candidates:
         if gate_key is not None:
             peer.idle_search_key = gate_key
@@ -171,6 +181,8 @@ def try_form_exchanges(
         metrics.count("ring.formed")
         metrics.count(f"ring.formed.size{len(edges)}")
         formed += 1
+    if counting and formed:
+        counters.bump("ring_search.rings_formed", formed)
     return formed
 
 

@@ -27,15 +27,19 @@ stay on plain set intersection, which is faster there.  Nothing here
 filters ring candidates — counter-visible behaviour (``ring.attempt``,
 ``ring.reject.*``) is untouched.
 
-Mask caches key off the same version fingerprints the idle-search gate
-uses: per-object provider masks off ``LookupService.object_version``
-and per-searcher index masks off ``IncomingRequestQueue.version``, so
-a cached mask is exactly as fresh as the gate's own view of the world.
+The per-object provider-mask cache keys off the same version
+fingerprint the idle-search gate uses (``LookupService.
+object_version``), so a cached mask is exactly as fresh as the gate's
+own view of the world.  The request-index side of the intersection
+needs no mask at all: the IRQ hands over its sorted CSR key array and
+the provider mask is fancy-indexed by it — O(index size) per probe and
+zero per-searcher cache (the old per-searcher bool masks were the
+single largest RSS consumer at 50k peers).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, KeysView, List, Optional, Set, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -44,6 +48,12 @@ import numpy as np
 #: sets average 1.6 peers at the ``small`` preset, where building a
 #: mask would cost more than the whole set operation).
 BITSET_MIN = 64
+
+#: Cap on cached per-object provider masks.  Each mask is one byte per
+#: table row (~50 KB at the ``huge`` preset), so the cache tops out
+#: around a dozen MB instead of scaling with catalog size.  Eviction is
+#: insertion-ordered — purely a perf knob, never trajectory-visible.
+PROVIDER_MASK_CACHE_MAX = 256
 
 #: Initial row capacity; growth doubles from here.
 _INITIAL_CAPACITY = 1024
@@ -68,10 +78,10 @@ class PeerStateTable:
         # Interned class labels; code 0 is the empty label.
         self._class_labels: List[str] = [""]
         self._class_codes: Dict[str, int] = {"": 0}
-        # object_id -> (object_version, capacity, mask)
+        # object_id -> (object_version, capacity, mask); bounded LRU-ish
+        # (insertion-ordered, oldest evicted) so a long catalog cannot
+        # accumulate masks without bound.
         self._provider_masks: Dict[int, Tuple[int, int, np.ndarray]] = {}
-        # searcher peer_id -> (irq_version, capacity, mask)
-        self._index_masks: Dict[int, Tuple[int, int, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # registration & mutation (called from Peer / the simulation)
@@ -219,23 +229,10 @@ class PeerStateTable:
             return entry[2]
         mask = np.zeros(capacity, dtype=bool)
         mask[list(providers)] = True
-        self._provider_masks[object_id] = (object_version, capacity, mask)  # simlint: disable=VER001 -- mask cache keyed by (object_version, capacity); column writes bump version independently
-        return mask
-
-    def _index_mask(
-        self, searcher_id: int, irq_version: int, index_keys: Iterable[int]
-    ) -> np.ndarray:
-        capacity = self.online.shape[0]
-        entry = self._index_masks.get(searcher_id)
-        if (
-            entry is not None
-            and entry[0] == irq_version
-            and entry[1] == capacity
-        ):
-            return entry[2]
-        mask = np.zeros(capacity, dtype=bool)
-        mask[list(index_keys)] = True
-        self._index_masks[searcher_id] = (irq_version, capacity, mask)  # simlint: disable=VER001 -- mask cache keyed by (irq_version, capacity); a stale entry needs a stale version first
+        cache = self._provider_masks
+        if object_id not in cache and len(cache) >= PROVIDER_MASK_CACHE_MAX:
+            cache.pop(next(iter(cache)))
+        cache[object_id] = (object_version, capacity, mask)  # simlint: disable=VER001 -- mask cache keyed by (object_version, capacity); column writes bump version independently
         return mask
 
     def sorted_intersection(
@@ -243,23 +240,26 @@ class PeerStateTable:
         object_id: int,
         object_version: int,
         providers: Set[int],
-        searcher_id: int,
-        irq_version: int,
-        index_keys: "KeysView[int]",
+        index_keys_sorted: Optional[np.ndarray],
+        index_keys: "AbstractSet[int]",
     ) -> List[int]:
-        """``sorted(providers & index_keys)``, bitset-backed when large.
+        """``sorted(providers & index_keys)``, mask-backed when large.
 
-        Both operands must be sets of registered peer ids.  Small
-        operands (< :data:`BITSET_MIN` on either side) use plain set
-        intersection — measured faster there.  Large ones AND two
-        cached bool masks and enumerate with ``flatnonzero``, whose
-        ascending order equals the sorted set intersection exactly.
+        ``index_keys_sorted`` must be the ascending unique array form of
+        ``index_keys`` (the IRQ's sorted key array), or None to force
+        the set path.  Small operands (< :data:`BITSET_MIN` on either
+        side) use plain set intersection — measured faster there.  Large
+        ones fancy-index a cached per-object provider mask with the key
+        array: the key array is ascending, so the selected subsequence
+        equals the sorted set intersection exactly, at O(len(index_keys))
+        per call instead of an AND over the whole id space.
         """
-        if len(providers) < BITSET_MIN or len(index_keys) < BITSET_MIN:
+        if index_keys_sorted is None or len(providers) < BITSET_MIN:
             return sorted(providers & index_keys)
         provider_mask = self._provider_mask(object_id, object_version, providers)
-        index_mask = self._index_mask(searcher_id, irq_version, index_keys)
-        hits: List[int] = np.flatnonzero(provider_mask & index_mask).tolist()
+        hits: List[int] = index_keys_sorted[
+            provider_mask[index_keys_sorted]
+        ].tolist()
         return hits
 
     def storage_nbytes(self) -> int:

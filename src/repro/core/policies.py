@@ -51,8 +51,14 @@ class ExchangePolicy:
         return 2 <= ring_size <= self.max_ring
 
     def order(self, candidates: Sequence[RingCandidate]) -> List[RingCandidate]:
-        """Candidates in preference order; default: discovery order."""
-        return [c for c in candidates if self.accepts(c.size)]
+        """Candidates in preference order; default: discovery order.
+
+        The admissibility filters below inline :meth:`accepts` — the
+        commit loop orders every candidate of every search pass, so the
+        per-candidate method call is measurable at 50k peers.
+        """
+        max_ring = self.max_ring
+        return [c for c in candidates if 2 <= c.size <= max_ring]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, max_ring={self.max_ring})"
@@ -86,7 +92,8 @@ class ShortestFirstPolicy(ExchangePolicy):
 
     def order(self, candidates: Sequence[RingCandidate]) -> List[RingCandidate]:
         """Admissible candidates, shortest rings first (stable)."""
-        accepted = [c for c in candidates if self.accepts(c.size)]
+        max_ring = self.max_ring
+        accepted = [c for c in candidates if 2 <= c.size <= max_ring]
         return sorted(accepted, key=lambda c: c.size)  # stable: keeps FIFO ties
 
 
@@ -100,7 +107,8 @@ class LongestFirstPolicy(ExchangePolicy):
 
     def order(self, candidates: Sequence[RingCandidate]) -> List[RingCandidate]:
         """Admissible candidates, longest rings first (stable)."""
-        accepted = [c for c in candidates if self.accepts(c.size)]
+        max_ring = self.max_ring
+        accepted = [c for c in candidates if 2 <= c.size <= max_ring]
         return sorted(accepted, key=lambda c: -c.size)
 
 

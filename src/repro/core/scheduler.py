@@ -56,7 +56,7 @@ def serve_pending(peer: "Peer") -> int:
             # Stale: the requester got the object elsewhere (or gave up).
             peer.irq.remove(entry.requester_id, entry.object_id)
             continue
-        if peer.available_blocks(entry.object_id) <= 0:
+        if not peer.can_serve(entry.object_id):
             # We evicted the object since the request arrived; the
             # requester must find another provider.
             peer.irq.remove(entry.requester_id, entry.object_id)

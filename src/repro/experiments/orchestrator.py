@@ -56,10 +56,11 @@ ProgressFn = Callable[[int, int], None]
 #: fingerprints now cover ``scenario``/``max_miss_attempts`` and
 #: summaries carry per-phase breakdowns; the strategy layer did again:
 #: fingerprints now cover ``strategy`` / per-class strategy specs and
-#: summaries carry sharing-fraction trajectories).  Entries stamped
-#: with any other value are treated as misses, so stale pre-refactor
-#: results are never replayed.
-CACHE_SCHEMA_VERSION = 5
+#: summaries carry sharing-fraction trajectories; the flat-cost event
+#: loop did again: fingerprints now cover ``metrics_retention`` /
+#: ``perf_counters``).  Entries stamped with any other value are
+#: treated as misses, so stale pre-refactor results are never replayed.
+CACHE_SCHEMA_VERSION = 6
 
 
 def config_fingerprint(config: SimulationConfig) -> str:

@@ -24,16 +24,32 @@ nothing on the hot path allocates them.
 Sentinels: ``ring_id=None`` is stored as ``-1`` (real ring ids start at
 1), and ``None`` epoch payoffs are stored as NaN; both are restored on
 view materialization.
+
+Retention modes: ``retention="full"`` (default) keeps every frozen
+chunk resident and queryable.  ``retention="streaming"`` hands each
+frozen session/download chunk to the running folds in
+:mod:`repro.metrics.aggregates` and releases it, so the collector's
+memory is flat in run length; only the summary-input queries remain
+(byte-identical to full retention, pinned by
+``tests/test_streaming_retention.py``), and they must be asked at the
+collector's construction-time warmup.  Record-level views raise
+:class:`StreamingRetentionError`.  The tiny strategy-epoch table always
+keeps full retention.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.metrics.aggregates import SessionAggregates
+from repro.metrics.aggregates import (
+    RunningDownloadTimes,
+    RunningSessionAggregates,
+    SessionAggregates,
+    first_occurrence_codes as _first_occurrence_codes,
+)
 from repro.metrics.records import (
     DownloadRecord,
     SessionRecord,
@@ -97,25 +113,64 @@ _EPOCH_SCHEMA: _Schema = (
 )
 
 
+class StreamingRetentionError(RuntimeError):
+    """A record-level view was asked of a streaming-retention collector.
+
+    Streaming retention releases frozen chunks after folding them into
+    running aggregates, so anything that needs raw record rows —
+    materialized record views, arbitrary-warmup filters, the strategy
+    layer's incremental row feeds — cannot be served.  Use
+    ``metrics_retention="full"`` for those.
+    """
+
+
 class _ColumnTable:
     """Chunked struct-of-arrays store with a tuple-per-row staging tail.
 
     The hot path is :meth:`append`: one list append per record.  Every
     ``_CHUNK`` rows the staging tail is transposed and frozen into one
-    immutable numpy array per column; :meth:`column` concatenates the
-    chunks (plus the current tail) on demand and caches the result
-    until the next append.
+    immutable numpy array per column.  In the default retaining mode
+    :meth:`column` concatenates the chunks (plus the current tail) on
+    demand and caches the result until the next append.  With an
+    ``on_freeze`` fold and ``retain=False`` (streaming retention) each
+    frozen chunk is handed to the fold and released instead, and the
+    column accessors go dark.
     """
 
-    __slots__ = ("_schema", "_index", "_chunks", "_staging", "_count", "_cache")
+    __slots__ = (
+        "_schema",
+        "_index",
+        "_chunks",
+        "_staging",
+        "_count",
+        "_cache",
+        "_on_freeze",
+        "_retain",
+        "_perf",
+        "_perf_key",
+    )
 
-    def __init__(self, schema: _Schema) -> None:
+    def __init__(
+        self,
+        schema: _Schema,
+        on_freeze: Optional[Callable[[Dict[str, np.ndarray]], None]] = None,
+        retain: bool = True,
+        perf=None,
+        perf_key: str = "collector.chunks",
+    ) -> None:
         self._schema = schema
         self._index = {name: i for i, (name, _) in enumerate(schema)}
         self._chunks: Dict[str, List[np.ndarray]] = {name: [] for name, _ in schema}
         self._staging: List[Tuple[object, ...]] = []
         self._count = 0
         self._cache: Optional[Dict[str, np.ndarray]] = None
+        self._on_freeze = on_freeze
+        self._retain = retain
+        #: Perf-counter sink (kept only when enabled) tallying chunk
+        #: freezes under ``perf_key`` — the collector's unit of
+        #: amortized work.
+        self._perf = perf if perf is not None and perf.enabled else None
+        self._perf_key = perf_key
 
     def __len__(self) -> int:
         return self._count
@@ -131,12 +186,34 @@ class _ColumnTable:
 
     def _flush(self) -> None:
         columns = zip(*self._staging)
-        for (name, dtype), values in zip(self._schema, columns):
-            self._chunks[name].append(np.asarray(values, dtype=dtype))
+        frozen = {  # simlint: disable=HOT001 -- amortized once per _CHUNK rows
+            name: np.asarray(values, dtype=dtype)
+            for (name, dtype), values in zip(self._schema, columns)
+        }
+        if self._on_freeze is not None:
+            self._on_freeze(frozen)
+        if self._retain:
+            for name, array in frozen.items():
+                self._chunks[name].append(array)
         self._staging.clear()
+        if self._perf is not None:
+            self._perf.bump(self._perf_key)
+
+    def drain(self) -> None:
+        """Freeze the staging tail now (partial chunk; query-time use).
+
+        Chunk boundaries are not observable — every fold is elementwise
+        or a carried left-fold — so draining early changes no value.
+        """
+        if self._staging:
+            self._flush()
 
     def column(self, name: str) -> np.ndarray:
         """The full column as one array (cached until the next append)."""
+        if not self._retain:
+            raise StreamingRetentionError(
+                f"column {name!r} was released under streaming retention"
+            )
         cache = self._cache
         if cache is None:
             cache = {}
@@ -171,14 +248,6 @@ class _ColumnTable:
         )
 
 
-def _first_occurrence_codes(codes: np.ndarray) -> List[int]:
-    """Distinct codes ordered by first occurrence (record order)."""
-    if codes.size == 0:
-        return []
-    uniq, first = np.unique(codes, return_index=True)
-    return [int(code) for code in uniq[np.argsort(first, kind="stable")]]
-
-
 class ColumnarCollector:
     """Numpy-backed metrics sink, summary-equivalent to the dataclass one.
 
@@ -192,17 +261,79 @@ class ColumnarCollector:
     #: Backend label, published into benchmark artifacts.
     backend_name = "columnar"
 
-    def __init__(self) -> None:
-        self._sessions = _ColumnTable(_SESSION_SCHEMA)
-        self._downloads = _ColumnTable(_DOWNLOAD_SCHEMA)
-        self._epochs = _ColumnTable(_EPOCH_SCHEMA)
+    def __init__(
+        self,
+        retention: str = "full",
+        warmup: float = 0.0,
+        perf_counters=None,
+    ) -> None:
+        if retention not in ("full", "streaming"):
+            raise ValueError(f"unknown retention {retention!r}")
         #: Shared string-interning table for class and phase labels.
         self._labels: List[str] = [""]
         self._codes: Dict[str, int] = {"": 0}
+        self.retention = retention
+        #: Warmup boundary the streaming folds censor at; summary-input
+        #: queries on a streaming collector must ask for exactly this.
+        self.warmup = warmup
+        self._session_fold: Optional[RunningSessionAggregates] = None
+        self._download_fold: Optional[RunningDownloadTimes] = None
+        if retention == "streaming":
+            traffic_labels = tuple(tc.value for tc in _TRAFFIC_CLASSES)
+            self._session_fold = RunningSessionAggregates(
+                warmup, traffic_labels, self._labels, _NON_EXCHANGE_CODE
+            )
+            self._download_fold = RunningDownloadTimes(warmup)
+            self._sessions = _ColumnTable(
+                _SESSION_SCHEMA,
+                on_freeze=self._session_fold.fold,
+                retain=False,
+                perf=perf_counters,
+                perf_key="collector.session_chunks",
+            )
+            self._downloads = _ColumnTable(
+                _DOWNLOAD_SCHEMA,
+                on_freeze=self._download_fold.fold,
+                retain=False,
+                perf=perf_counters,
+                perf_key="collector.download_chunks",
+            )
+        else:
+            self._sessions = _ColumnTable(
+                _SESSION_SCHEMA,
+                perf=perf_counters,
+                perf_key="collector.session_chunks",
+            )
+            self._downloads = _ColumnTable(
+                _DOWNLOAD_SCHEMA,
+                perf=perf_counters,
+                perf_key="collector.download_chunks",
+            )
+        # Strategy epochs stay fully retained in either mode: one row
+        # per revision epoch, never a memory concern, and the summary
+        # reads them as records.
+        self._epochs = _ColumnTable(_EPOCH_SCHEMA)
         self.counters: Counter = Counter()
         #: Scenario-phase label stamped onto records as they land (same
         #: contract as the dataclass collector).
         self.current_phase: str = ""
+
+    # ------------------------------------------------------------------
+    # retention guards
+    # ------------------------------------------------------------------
+    def _require_full(self, what: str) -> None:
+        if self.retention != "full":
+            raise StreamingRetentionError(
+                f"{what} needs raw record rows, which streaming retention "
+                "releases; run with metrics_retention='full'"
+            )
+
+    def _check_warmup(self, warmup: float, what: str) -> None:
+        if warmup != self.warmup:
+            raise ValueError(
+                f"streaming retention folded {what} at warmup={self.warmup}; "
+                f"cannot re-filter at warmup={warmup}"
+            )
 
     # ------------------------------------------------------------------
     # interning
@@ -398,6 +529,7 @@ class ColumnarCollector:
     @property
     def sessions(self) -> List[SessionRecord]:
         """All session rows materialized as records (fresh list)."""
+        self._require_full("the sessions record view")
         table = self._sessions
         labels = self._labels
         names = [name for name, _ in _SESSION_SCHEMA]
@@ -429,6 +561,7 @@ class ColumnarCollector:
     @property
     def downloads(self) -> List[DownloadRecord]:
         """All download rows materialized as records (fresh list)."""
+        self._require_full("the downloads record view")
         table = self._downloads
         labels = self._labels
         names = [name for name, _ in _DOWNLOAD_SCHEMA]
@@ -500,6 +633,11 @@ class ColumnarCollector:
         self, sharer: Optional[bool] = None, warmup: float = 0.0
     ) -> List[float]:
         """Download times in seconds, optionally filtered by peer class."""
+        fold = self._download_fold
+        if fold is not None:
+            self._check_warmup(warmup, "download times")
+            self._downloads.drain()
+            return fold.times(sharer)
         table = self._downloads
         complete = table.column("complete_time")
         mask = complete >= warmup
@@ -515,6 +653,15 @@ class ColumnarCollector:
         Same fallback as the dataclass collector: unlabeled records read
         as sharer/freeloader.  Keys appear in first-occurrence order.
         """
+        fold = self._download_fold
+        if fold is not None:
+            self._check_warmup(warmup, "download times")
+            self._downloads.drain()
+            labels = self._labels
+            return {
+                labels[code]: times
+                for code, times in fold.times_by_code("eff_class").items()
+            }
         table = self._downloads
         complete = table.column("complete_time")
         keep = np.flatnonzero(complete >= warmup)
@@ -528,6 +675,15 @@ class ColumnarCollector:
 
     def download_times_by_phase(self, warmup: float = 0.0) -> Dict[str, List[float]]:
         """Download times (seconds) per scenario-phase label ("" skipped)."""
+        fold = self._download_fold
+        if fold is not None:
+            self._check_warmup(warmup, "download times")
+            self._downloads.drain()
+            labels = self._labels
+            return {
+                labels[code]: times
+                for code, times in fold.times_by_code("phase").items()
+            }
         table = self._downloads
         complete = table.column("complete_time")
         keep = np.flatnonzero(complete >= warmup)
@@ -570,8 +726,16 @@ class ColumnarCollector:
         Matches the dataclass collector's record loop float for float:
         grouped extractions preserve record order, key order is first
         occurrence, and volume sums are sequential left-folds over
-        Python scalars (see the module docstring).
+        Python scalars (see the module docstring).  Under streaming
+        retention the result comes from the running chunk fold — same
+        floats, same key order (pinned by the retention-equivalence
+        tests) — and ``warmup`` must equal the construction-time value.
         """
+        fold = self._session_fold
+        if fold is not None:
+            self._check_warmup(warmup, "session aggregates")
+            self._sessions.drain()
+            return fold.result()
         table = self._sessions
         end = table.column("end_time")
         keep = np.flatnonzero(end >= warmup)
@@ -632,6 +796,7 @@ class ColumnarCollector:
         Yields rows ``start..`` in record order; the strategy layer's
         epoch ingestion reads these instead of materializing records.
         """
+        self._require_full("session_rows_since")
         table = self._sessions
         requester = table.column("requester_id")[start:].tolist()
         request = table.column("request_time")[start:].tolist()
@@ -645,6 +810,7 @@ class ColumnarCollector:
         self, start: int
     ) -> Iterator[Tuple[int, float, float, float]]:
         """``(peer_id, request_time, complete_time, download_time)`` rows."""
+        self._require_full("download_rows_since")
         table = self._downloads
         peer = table.column("peer_id")[start:].tolist()
         request = table.column("request_time")[start:].tolist()
@@ -657,17 +823,27 @@ class ColumnarCollector:
 
     # ------------------------------------------------------------------
     def storage_nbytes(self) -> int:
-        """Frozen columnar footprint in bytes (staging tails excluded)."""
-        return (
+        """Resident metrics footprint in bytes (staging tails excluded).
+
+        Full retention counts the frozen chunks; streaming counts what
+        the folds retain (the per-class value arrays) instead — the
+        chunks themselves were released.
+        """
+        retained = (
             self._sessions.nbytes()
             + self._downloads.nbytes()
             + self._epochs.nbytes()
         )
+        if self._session_fold is not None:
+            retained += self._session_fold.nbytes()
+        if self._download_fold is not None:
+            retained += self._download_fold.nbytes()
+        return retained
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ColumnarCollector(sessions={len(self._sessions)}, "
-            f"downloads={len(self._downloads)})"
+            f"downloads={len(self._downloads)}, retention={self.retention!r})"
         )
 
 

@@ -25,6 +25,22 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
 class DownloadState:
     """Requester-side ledger for one pending object download."""
 
+    __slots__ = (
+        "peer_id",
+        "object",
+        "request_time",
+        "total_blocks",
+        "delivered_blocks",
+        "unassigned_blocks",
+        "completed",
+        "transfers",
+        "exchange_sources",
+        "registered_at",
+        "known_providers",
+        "lookup_failures",
+        "epoch",
+    )
+
     def __init__(
         self,
         peer_id: int,

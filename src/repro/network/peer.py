@@ -43,6 +43,39 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
 class Peer:
     """One participant of the file-sharing network."""
 
+    # 50k-peer runs hold every Peer alive for the whole simulation, so
+    # the per-instance ``__dict__`` (~100 bytes each plus hash-table
+    # slack) is pure overhead — the attribute set is fixed at __init__.
+    __slots__ = (
+        "ctx",
+        "peer_id",
+        "behavior",
+        "policy",
+        "profile",
+        "store",
+        "class_name",
+        "online",
+        "departed",
+        "upload_capacity_kbit",
+        "download_capacity_kbit",
+        "upload_pool",
+        "download_pool",
+        "irq",
+        "pending",
+        "workload",
+        "_uploads",
+        "_exchange_uploads",
+        "_pass_scheduled",
+        "idle_search_key",
+        "periodic_processes",
+        "_snapshot_cache",
+        "_last_tree_refresh",
+        "_push_complete_version",
+        "_workload_stalled_until",
+        "_rand",
+        "discipline",
+    )
+
     def __init__(
         self,
         ctx: "SimContext",
@@ -82,7 +115,7 @@ class Peer:
         self.download_capacity_kbit = download_capacity_kbit
         self.upload_pool = SlotPool(upload_capacity_kbit, config.slot_kbit)
         self.download_pool = SlotPool(download_capacity_kbit, config.slot_kbit)
-        self.irq = IncomingRequestQueue(config.irq_capacity)
+        self.irq = IncomingRequestQueue(config.irq_capacity, counters=ctx.counters)
         self.pending: Dict[int, DownloadState] = {}
         self.workload: Optional[RequestGenerator] = None  # set by attach_workload
         self._uploads: Dict[Tuple[int, int], "Transfer"] = {}
@@ -159,12 +192,31 @@ class Peer:
         serves the blocks received so far.  Otherwise zero.
         """
         if object_id in self.store:
-            return self.blocks_for_object(object_id)
+            # Inlined blocks_for_object: this sits on the token-veto /
+            # serve hot path, and the extra bound-method hop is
+            # measurable at 50k peers.
+            return self.ctx.blocks_for(object_id)
         if self.ctx.config.serve_partial:
             download = self.pending.get(object_id)
             if download is not None:
                 return download.delivered_blocks
         return 0
+
+    def can_serve(self, object_id: int) -> bool:
+        """Whether any block of the object is currently servable.
+
+        Exactly ``available_blocks(object_id) > 0``, minus the block
+        count lookup: a stored object always serves at least one block
+        (``ctx.blocks_for`` floors at 1), so the token-veto and serve
+        hot paths only need the store membership test.
+        """
+        if object_id in self.store:
+            return True
+        if self.ctx.config.serve_partial:
+            download = self.pending.get(object_id)
+            if download is not None:
+                return download.delivered_blocks > 0
+        return False
 
     def blocks_for_object(self, object_id: int) -> int:
         """Total blocks of one object (memoized on the context)."""
@@ -279,7 +331,7 @@ class Peer:
         the peer "issues the request again")."""
         if download.completed or not self.online:
             return False
-        if provider.available_blocks(download.object.object_id) <= 0:
+        if not provider.can_serve(download.object.object_id):
             return False
         return self.register_request_at(provider.peer_id, download)
 

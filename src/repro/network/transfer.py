@@ -43,6 +43,26 @@ class TransferState(enum.Enum):
 class Transfer:
     """One provider→requester session at one slot rate."""
 
+    __slots__ = (
+        "_ctx",
+        "provider",
+        "requester",
+        "download",
+        "object",
+        "ring",
+        "ring_size",
+        "ring_id",
+        "state",
+        "session_start",
+        "session_blocks",
+        "total_blocks_delivered",
+        "entry",
+        "_block_event",
+        "_block_in_flight",
+        "_pinned",
+        "last_reason",
+    )
+
     def __init__(
         self,
         ctx: "SimContext",

@@ -2,15 +2,17 @@
 
 An :class:`Event` wraps a zero-argument callback together with its fire
 time and a monotonically increasing sequence number.  The sequence number
-makes the heap ordering total and deterministic: two events scheduled for
-the same instant fire in the order they were scheduled, which keeps runs
-reproducible under a fixed seed.  The ordering itself lives in the
-engine's heap entries — ``(time, seq, event)`` tuples — so events carry
+makes the store ordering total and deterministic: two events scheduled
+for the same instant fire in the order they were scheduled, which keeps
+runs reproducible under a fixed seed.  The ordering itself lives in the
+engine's store entries — ``(time, seq, event)`` tuples — so events carry
 no comparison methods of their own.
 
-Cancellation is *lazy*: cancelling marks the event and the engine skips
-it when popped.  This is the standard technique for heap-based
-schedulers, where removing an arbitrary heap element would cost O(n).
+Cancellation is *eagerly indexed*: cancelling marks the event AND
+notifies the owning engine, which keeps an exact live count and compacts
+its store when cancelled entries pile up.  The engine clears the
+back-reference when it pops an event to fire it, so a late cancel (a
+transfer racing ring tear-down) stays a harmless no-op.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ class Event:
     user code holds on to them only to call :meth:`cancel`.
     """
 
-    __slots__ = ("time", "seq", "callback", "name", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "name", "engine", "_cancelled")
 
     def __init__(
         self,
@@ -33,11 +35,15 @@ class Event:
         seq: int,
         callback: Callable[[], None],
         name: Optional[str] = None,
+        engine: Optional[object] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.name = name or getattr(callback, "__name__", "event")
+        #: Back-reference for eager cancellation accounting; the engine
+        #: sets this to None when the event is popped to fire.
+        self.engine = engine
         self._cancelled = False
 
     @property
@@ -52,10 +58,16 @@ class Event:
         harmless no-op; transfers race with ring tear-down and both
         sides may try to cancel the same block event.
         """
+        if self._cancelled:
+            return
         self._cancelled = True
         # Drop the callback reference so cancelled events do not keep
-        # large object graphs (peers, transfers) alive inside the heap.
+        # large object graphs (peers, transfers) alive inside the store.
         self.callback = _noop
+        engine = self.engine
+        if engine is not None:
+            self.engine = None
+            engine._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback (the engine calls this; tests may too)."""

@@ -25,6 +25,18 @@ class PeriodicProcess:
     simulation would serialize ring formation artificially.
     """
 
+    __slots__ = (
+        "_engine",
+        "_interval",
+        "_callback",
+        "_name",
+        "_jitter_fn",
+        "_event",
+        "_stopped",
+        "_paused",
+        "_fired",
+    )
+
     def __init__(
         self,
         engine: Engine,

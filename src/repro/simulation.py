@@ -67,6 +67,10 @@ class SimulationResult:
     metrics: AnyCollector
     events_fired: int
     wall_seconds: float
+    #: JSON-ready perf-counter snapshot (``ctx.counters.snapshot()``) —
+    #: all-empty with ``enabled: False`` unless ``config.perf_counters``
+    #: asked for instrumentation.  Benchmarks publish this verbatim.
+    perf_counters: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -491,6 +495,7 @@ class FileSharingSimulation:
             metrics=self.ctx.metrics,
             events_fired=self.ctx.engine.events_fired,
             wall_seconds=wall,
+            perf_counters=self.ctx.counters.snapshot(),
         )
 
 

@@ -283,3 +283,53 @@ class TestPropertyBased:
         engine.run(until=101.0)
         assert len(fired) == len(delays) - 1
         assert (cancel_index % len(delays)) not in fired
+
+
+class TestCancellationPurgeCost:
+    """Cancellation stays O(N log M) — asserted on counters, not clocks.
+
+    ``purge_ops`` counts every discard of a cancelled entry (pop-time
+    skips plus compaction sweeps).  Each cancellation must be paid for
+    exactly once, regardless of how many live events surround it — a
+    scheduler that rescanned or rebuilt per cancel would discard (or
+    re-touch) entries in proportion to the population and break the
+    exact equality.
+    """
+
+    def _run_with_cancels(self, population: int, cancels: int) -> Engine:
+        engine = Engine()
+        events = [
+            engine.schedule(1.0 + (i % 977) * 0.01, lambda: None)
+            for i in range(population)
+        ]
+        for event in events[:cancels]:
+            event.cancel()
+        engine.run(until=1_000.0)
+        return engine
+
+    def test_purge_work_is_population_independent(self):
+        small = self._run_with_cancels(1_000, 400)
+        large = self._run_with_cancels(16_000, 400)
+        assert small.purge_ops == 400
+        assert large.purge_ops == 400  # same N, 16x the M: same cost
+        assert small.events_fired == 1_000 - 400
+        assert large.events_fired == 16_000 - 400
+        assert small.cancelled_skipped == large.cancelled_skipped == 400
+
+    def test_mass_cancellation_compacts_amortized(self):
+        """Cancelling most of the heap compacts, at the purge floor's rate."""
+        engine = self._run_with_cancels(1_000, 900)
+        assert engine.purge_ops == 900  # each cancel discarded exactly once
+        # Compaction needs >= _PURGE_FLOOR (64) pending cancels per
+        # sweep, so sweeps are bounded by N / 64 (+1 slack), never O(N).
+        assert 1 <= engine.compactions <= 900 // 64 + 1
+
+    def test_cancel_after_cancel_costs_nothing_extra(self):
+        engine = Engine()
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for event in events[:30]:
+            event.cancel()
+            event.cancel()  # idempotent: must not double-count purge work
+        engine.run(until=200.0)
+        assert engine.purge_ops == 30
+        assert engine.events_fired == 70

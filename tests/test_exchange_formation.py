@@ -165,7 +165,6 @@ class TestRingFormation:
         # Give A a head start elsewhere: complete A's download by force —
         # simplest is to run until the ring finishes one full object; all
         # three complete simultaneously here, so instead break by evicting.
-        b.store.unpin_all = None  # (no-op marker; eviction below)
         # Evict C's object mid-exchange is impossible (pinned); instead
         # take C offline, which the next block delivery does not check —
         # so force-break by terminating one member transfer directly.

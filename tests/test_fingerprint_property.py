@@ -115,6 +115,17 @@ def fingerprints_differ(base: SimulationConfig, mutated: SimulationConfig) -> bo
 def test_every_top_level_field_moves_the_fingerprint(field):
     base = base_config()
     value = getattr(base, field.name)
+    if field.name == "metrics_retention":
+        # Streaming retention is invalid alongside the dynamic-strategy
+        # base config, so flip the field on a static variant — the
+        # field must still move the hash there.
+        base = base.replace(strategy=None, population=(), scenario=())
+        mutated = base.replace(metrics_retention="streaming")
+        assert fingerprints_differ(base, mutated), (
+            "mutating SimulationConfig.metrics_retention left the cache "
+            "fingerprint unchanged"
+        )
+        return
     if field.name == "population":
         mutated_value = value + (PeerClassSpec(name="c", count=0),)
     elif field.name == "scenario":

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.irq import IncomingRequestQueue, RequestEntry
 from repro.core.request_tree import RequestTreeNode
@@ -126,3 +128,86 @@ class TestPeerIndex:
         e = entry(tree=self._tree())
         first = e.occurrences()
         assert e.occurrences() is first
+
+
+class TestCompactionProperty:
+    """``_maybe_compact`` is invisible: any interleaving of mutations
+    leaves the observable queue exactly equal to a reference model.
+
+    Compaction rebuilds the inverted index from live entries whenever
+    dead occurrences dominate; these properties pin what it must
+    preserve — FIFO snapshot order, per-peer path contents and order,
+    and the binding epoch (content mutations must never touch it).
+    """
+
+    OPS = st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("add"),
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=14),
+                st.frozensets(st.integers(min_value=10, max_value=16), max_size=3),
+            ),
+            st.tuples(st.just("remove"), st.integers(min_value=0, max_value=63)),
+            st.tuples(st.just("offline_drain")),
+            st.tuples(st.just("bind")),
+        ),
+        max_size=60,
+    )
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=OPS)
+    def test_interleaved_mutation_matches_reference_model(self, ops):
+        irq = IncomingRequestQueue(capacity=1_000)
+        model = {}  # key -> (entry, indexed peer set), insertion-ordered
+        binds = 0
+        for op in ops:
+            kind = op[0]
+            if kind == "add":
+                _, requester, obj, children = op
+                children = {c for c in children if c != requester}
+                tree = (
+                    RequestTreeNode(
+                        requester,
+                        None,
+                        tuple(RequestTreeNode(c, obj) for c in sorted(children)),
+                    )
+                    if children
+                    else None
+                )
+                candidate = entry(requester, obj, tree=tree)
+                if irq.add(candidate):
+                    model[(requester, obj)] = (candidate, {requester} | children)
+                else:
+                    assert (requester, obj) in model  # capacity is ample
+            elif kind == "remove":
+                _, pick = op
+                if model:
+                    key = list(model)[pick % len(model)]
+                    assert irq.remove(*key) is model.pop(key)[0]
+                else:
+                    assert irq.remove(99, 99) is None
+            elif kind == "offline_drain":
+                # What Peer._drain_incoming_requests does: withdraw
+                # every queued entry, one remove at a time.
+                for live in list(irq.active_entries()):
+                    irq.remove(live.requester_id, live.object_id)
+                model.clear()
+            else:
+                irq.note_binding_change()
+                binds += 1
+            # Observable state equals the model after *every* step —
+            # compaction may have struck anywhere in between.
+            assert [e.key for e in irq.snapshot()] == list(model)
+            view = irq.index_view()
+            for peer_id in range(0, 17):
+                expected = [
+                    e for (e, peers) in model.values() if peer_id in peers
+                ]
+                assert [e for e, _ in irq.paths_to(peer_id)] == expected
+                assert [e for e in view.get(peer_id, []) if e.active] == expected
+            assert irq.binding_epoch == binds
+        assert irq._dead_in_index >= 0
+        if not model:
+            # An emptied queue compacts immediately: no garbage index.
+            assert irq.index_view() == {}

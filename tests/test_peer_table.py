@@ -83,10 +83,13 @@ class TestRowsAndScans:
 
 
 class TestSortedIntersection:
-    def _check(self, table, providers, index_keys, object_version=1, irq_version=1):
+    def _check(self, table, providers, index_keys, object_version=1):
+        import numpy as np
+
         expected = sorted(providers & set(index_keys))
+        keys_sorted = np.asarray(sorted(index_keys), dtype=np.intc)
         got = table.sorted_intersection(
-            7, object_version, providers, 3, irq_version, index_keys
+            7, object_version, providers, keys_sorted, frozenset(index_keys)
         )
         assert got == expected
 
@@ -94,7 +97,7 @@ class TestSortedIntersection:
         table = make_table(100)
         self._check(table, {3, 9, 55}, {9, 55, 60})
 
-    def test_large_sets_take_bitset_path_and_match(self):
+    def test_large_sets_take_mask_path_and_match(self):
         rand = random.Random(7)
         size = BITSET_MIN * 4
         table = make_table(size * 2)
@@ -102,20 +105,20 @@ class TestSortedIntersection:
         index_keys = set(rand.sample(range(size * 2), size))
         assert len(providers) >= BITSET_MIN and len(index_keys) >= BITSET_MIN
         self._check(table, providers, index_keys)
-        # The bitset path populated both caches.
-        assert 7 in table._provider_masks and 3 in table._index_masks
+        # The mask path populated the per-object cache.
+        assert 7 in table._provider_masks
 
     def test_version_change_invalidates_masks(self):
         size = BITSET_MIN * 2
         table = make_table(size * 2)
         providers = set(range(size))
         index_keys = set(range(size // 2, size + size // 2))
-        self._check(table, providers, index_keys, object_version=1, irq_version=1)
-        # Same keys, new versions, different sets: must rebuild, not reuse.
+        self._check(table, providers, index_keys, object_version=1)
+        # Same object key, new version, different provider set: must
+        # rebuild the mask, not reuse it.
         providers2 = set(range(size, size * 2))
         index_keys2 = set(range(size))
-        got = table.sorted_intersection(7, 2, providers2, 3, 2, index_keys2)
-        assert got == sorted(providers2 & index_keys2)
+        self._check(table, providers2, index_keys2, object_version=2)
 
     def test_capacity_growth_invalidates_masks(self):
         size = BITSET_MIN * 2
@@ -128,6 +131,25 @@ class TestSortedIntersection:
             size * 64, online=True, shares=True, enables_exchanges=True, max_ring=2
         )
         self._check(table, providers, index_keys)
+
+    def test_provider_mask_cache_bounded(self):
+        from repro.core.peer_table import PROVIDER_MASK_CACHE_MAX
+
+        size = BITSET_MIN * 2
+        table = make_table(size)
+        providers = set(range(size))
+        index_keys = set(range(size))
+        import numpy as np
+
+        keys_sorted = np.asarray(sorted(index_keys), dtype=np.intc)
+        for object_id in range(PROVIDER_MASK_CACHE_MAX + 50):
+            got = table.sorted_intersection(
+                object_id, 1, providers, keys_sorted, frozenset(index_keys)
+            )
+            assert got == sorted(providers & index_keys)
+        assert len(table._provider_masks) <= PROVIDER_MASK_CACHE_MAX
+        # Eviction is oldest-first: the most recent inserts survive.
+        assert (PROVIDER_MASK_CACHE_MAX + 49) in table._provider_masks
 
 
 class TestMirrorsObjectGraph:

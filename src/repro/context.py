@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from repro.content.catalog import Catalog
     from repro.network.lookup import LookupService
     from repro.network.peer import Peer
+    from repro.security.adversaries import AdversaryState
 
 
 class SimContext:
@@ -70,6 +71,11 @@ class SimContext:
         self.peer_table = PeerStateTable()
         self.catalog: Optional["Catalog"] = None
         self.lookup: Optional["LookupService"] = None
+        #: Attacker bookkeeping (see :mod:`repro.security.adversaries`),
+        #: set by the simulation iff some peer class declares an
+        #: ``adversary`` kind.  ``None`` for every honest run — the
+        #: admission gate's single ``is None`` check is the only cost.
+        self.adversary: Optional["AdversaryState"] = None
         self._ring_counter = 0
         self._blocks_cache: Dict[int, int] = {}
 

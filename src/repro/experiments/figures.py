@@ -27,9 +27,11 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.experiments.presets import (
+    ADVERSARIAL_ATTACKS,
     CAPACITY_TIERS,
     CATEGORY_GRID,
     adoption_population,
+    adversarial_config,
     evolution_config,
     flash_crowd_scenario,
     preset,
@@ -543,6 +545,84 @@ def _evolution_assemble(scale: str, seed: int, summaries: CellSummaries) -> Seri
     return table
 
 
+# ---------------------------------------------------------------------------
+# Robustness — incentive mechanisms under adversarial populations (§V)
+# ---------------------------------------------------------------------------
+
+#: Column order of the ``robustness`` figure: most structurally robust
+#: mechanism first (the paper's thesis — exchanges pay only for
+#: simultaneous reciprocity, so laundered standing buys nothing).
+ROBUSTNESS_MECHANISMS = ("exchange", "participation", "credit")
+
+
+def honest_mean_download_time(summary: SimulationSummary) -> Optional[float]:
+    """Mean download time (min) of the honest sharer+freeloader crowd.
+
+    Computed from the per-class breakdown (completion-weighted), NOT
+    from the summary's adversary split: the ``none`` baseline cells
+    carry no adversary metrics, and the degradation ratio needs the
+    *same* population slice in the numerator and the denominator.
+    """
+    total = 0.0
+    completed = 0
+    for label in ("sharer", "freeloader"):
+        count = summary.completed_downloads_by_class.get(label, 0)
+        mean = summary.mean_download_time_min_by_class.get(label)
+        if count and mean is not None:
+            total += mean * count
+            completed += count
+    return total / completed if completed else None
+
+
+def _robustness_grid(scale: str, seed: int) -> CellGrid:
+    return {
+        f"{attack}/{mechanism}": adversarial_config(scale, mechanism, attack, seed)
+        for attack in ADVERSARIAL_ATTACKS
+        for mechanism in ROBUSTNESS_MECHANISMS
+    }
+
+
+def _robustness_assemble(
+    scale: str, seed: int, summaries: CellSummaries
+) -> SeriesTable:
+    """One row per attack: honest download time and degradation ratio.
+
+    ``degradation`` is the honest crowd's mean download time under the
+    attack divided by the same quantity in that mechanism's ``none``
+    baseline cell — 1.0 means the attack cost honest peers nothing.
+    The seed-pinned ordering test asserts the paper's §V ranking on the
+    whitewash row: exchange ≤ participation ≤ credit.
+    """
+    columns: List[str] = []
+    for mechanism in ROBUSTNESS_MECHANISMS:
+        columns.append(f"{mechanism}/honest_time")
+        columns.append(f"{mechanism}/degradation")
+    table = SeriesTable(
+        "Robustness: honest-peer mean download time (min) and degradation "
+        "vs the no-attack baseline, per incentive mechanism "
+        "(rows: 0=none, 1=whitewash, 2=sybil, 3=collusion)",
+        "attack_index",
+        columns,
+    )
+    baselines = {
+        mechanism: honest_mean_download_time(summaries[f"none/{mechanism}"])
+        for mechanism in ROBUSTNESS_MECHANISMS
+    }
+    for index, attack in enumerate(ADVERSARIAL_ATTACKS):
+        row: Dict[str, Optional[float]] = {}
+        for mechanism in ROBUSTNESS_MECHANISMS:
+            honest = honest_mean_download_time(summaries[f"{attack}/{mechanism}"])
+            baseline = baselines[mechanism]
+            row[f"{mechanism}/honest_time"] = honest
+            row[f"{mechanism}/degradation"] = (
+                honest / baseline
+                if honest is not None and baseline
+                else None
+            )
+        table.add_row(float(index), row)
+    return table
+
+
 #: Registry used by the orchestrator, the CLI runner and the benchmarks.
 FIGURES: Dict[str, FigureSpec] = {
     spec.figure_id: spec
@@ -575,6 +655,8 @@ FIGURES: Dict[str, FigureSpec] = {
                    _swarm_growth_grid, _swarm_growth_assemble),
         FigureSpec("evolution", "sharing-fraction dynamics per incentive mechanism",
                    _evolution_grid, _evolution_assemble),
+        FigureSpec("robustness", "honest-peer degradation per mechanism x attack",
+                   _robustness_grid, _robustness_assemble),
     )
 }
 
@@ -611,3 +693,4 @@ fig9_download_time_vs_popularity = _figure_entry("fig9")
 fig10_volume_vs_popularity = _figure_entry("fig10")
 fig11_pending_and_categories = _figure_entry("fig11")
 fig12_freeloader_fraction = _figure_entry("fig12")
+robustness_mechanism_vs_attack = _figure_entry("robustness")

@@ -60,7 +60,7 @@ ProgressFn = Callable[[int, int], None]
 #: loop did again: fingerprints now cover ``metrics_retention`` /
 #: ``perf_counters``).  Entries stamped with any other value are
 #: treated as misses, so stale pre-refactor results are never replayed.
-CACHE_SCHEMA_VERSION = 6
+CACHE_SCHEMA_VERSION = 7
 
 
 def config_fingerprint(config: SimulationConfig) -> str:

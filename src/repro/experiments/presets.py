@@ -3,7 +3,7 @@
 The paper's absolute configuration (Table II) needs runs several times
 longer than the ~400-minute mean download time to measure download times
 without censoring bias — minutes of wall clock per point, hours for a
-full sweep.  Five presets trade fidelity for speed (or scale):
+full sweep.  Six presets trade fidelity for speed (or scale):
 
 * ``paper`` — Table II verbatim with a long measurement window.  Use
   for the record; hours per figure.
@@ -21,6 +21,10 @@ full sweep.  Five presets trade fidelity for speed (or scale):
   objects over narrow links, a short measurement window, and relaxed
   periodic cadences keep a run CI-sized; used by
   ``benchmarks/bench_huge.py``.
+* ``adversarial`` — smoke's geometry in the loaded (40 kbit/s uplink)
+  regime, the home scale of the ``robustness`` mechanism × attack grid
+  (see :func:`adversarial_config`); used by
+  ``benchmarks/bench_adversarial.py``.
 
 All presets keep the paper's *structure*: 10 kbit/s slots, 6 pending
 requests, 50% free-riders, power-law popularity with f = 0.2, initial
@@ -37,7 +41,15 @@ from typing import Dict, Tuple
 from repro.config import SimulationConfig
 from repro.errors import ConfigError
 from repro.population import PeerClassSpec
-from repro.scenario import FlashCrowd, PeerArrival, PeerDeparture, Phase, ScenarioSpec
+from repro.scenario import (
+    FlashCrowd,
+    IdentityWhitewash,
+    PeerArrival,
+    PeerDeparture,
+    Phase,
+    ScenarioSpec,
+    SybilSpawn,
+)
 from repro.strategy import StrategySpec
 
 #: Per-scale overrides applied on top of Table II defaults.
@@ -112,6 +124,22 @@ SCALES: Dict[str, dict] = {
         tree_refresh_interval=240.0,
         storage_check_interval=1_000.0,
     ),
+    # The robustness harness's home scale: smoke's geometry in the
+    # loaded regime (40 kbit/s uplinks — differential service, and
+    # therefore an attack on it, only matters under contention).
+    "adversarial": dict(
+        num_peers=40,
+        num_categories=40,
+        objects_per_category_min=1,
+        objects_per_category_max=60,
+        object_size_mb=4.0,
+        block_size_kbit=1024.0,
+        storage_min_objects=4,
+        storage_max_objects=16,
+        duration=24_000.0,
+        warmup=6_000.0,
+        upload_capacity_kbit=40.0,
+    ),
 }
 
 
@@ -124,6 +152,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (140.0, 120.0, 100.0, 80.0, 60.0, 40.0),
         "small": (120.0, 80.0, 40.0),
         "smoke": (120.0, 80.0, 40.0),
+        "adversarial": (120.0, 80.0, 40.0),
         "scale": (120.0, 80.0, 40.0),
         "huge": (120.0, 80.0, 40.0),
     },
@@ -132,6 +161,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (1, 2, 3, 4, 5, 6, 7),
         "small": (1, 2, 3, 5, 7),
         "smoke": (2, 3, 5),
+        "adversarial": (2, 3, 5),
         "scale": (2, 3, 5),
         "huge": (2, 3, 5),
     },
@@ -140,6 +170,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
         "small": (0.0, 0.4, 0.8),
         "smoke": (0.0, 0.4, 0.8),
+        "adversarial": (0.0, 0.4, 0.8),
         "scale": (0.0, 0.4, 0.8),
         "huge": (0.0, 0.4, 0.8),
     },
@@ -148,6 +179,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (2, 3, 4, 5, 6, 7, 8, 9, 10),
         "small": (2, 4, 6, 10),
         "smoke": (2, 6, 10),
+        "adversarial": (2, 6, 10),
         "scale": (2, 6, 10),
         "huge": (2, 6, 10),
     },
@@ -156,6 +188,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
         "small": (0.1, 0.3, 0.5, 0.7, 0.9),
         "smoke": (0.2, 0.5, 0.8),
+        "adversarial": (0.2, 0.5, 0.8),
         "scale": (0.2, 0.5, 0.8),
         "huge": (0.2, 0.5, 0.8),
     },
@@ -166,6 +199,7 @@ SWEEP_GRIDS: Dict[str, Dict[str, tuple]] = {
         "paper": (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
         "small": (0.0, 0.25, 0.5, 0.75, 1.0),
         "smoke": (0.0, 0.5, 1.0),
+        "adversarial": (0.0, 0.5, 1.0),
         "scale": (0.0, 0.5, 1.0),
         "huge": (0.0, 0.5, 1.0),
     },
@@ -388,6 +422,124 @@ def evolution_config(scale: str, mechanism: str, seed: int) -> SimulationConfig:
         seed=seed,
         **EVOLUTION_CELLS[mechanism],
     )
+
+
+#: The ``robustness`` figure's attack rows.  ``none`` is the honest
+#: baseline every degradation ratio is measured against.
+ADVERSARIAL_ATTACKS = ("none", "whitewash", "sybil", "collusion")
+
+#: Fractions of the population given to the hostile (or, under
+#: ``none``, merely free-riding) class and to the honest freeloaders.
+ADVERSARY_FRACTION = 0.2
+ADVERSARIAL_FREELOADER_FRACTION = 0.3
+
+#: The ``robustness`` figure's mechanism columns.  ``participation``
+#: runs with honest reporting for the *honest* freeloaders
+#: (``freeloaders_fake_participation=False``) — the adversary classes
+#: force their own cheat regardless, which is exactly the asymmetry the
+#: robustness question is about.
+ROBUSTNESS_CELLS: Dict[str, dict] = {
+    "exchange": dict(exchange_mechanism="2-5-way", scheduler_mode="fifo"),
+    "credit": dict(exchange_mechanism="none", scheduler_mode="credit"),
+    "participation": dict(
+        exchange_mechanism="none",
+        scheduler_mode="participation",
+        freeloaders_fake_participation=False,
+    ),
+}
+
+
+def adversarial_population(attack: str) -> Tuple[PeerClassSpec, ...]:
+    """Sharer remainder + honest freeloaders + one adversary class.
+
+    The class structure is identical across attacks — the ``adversary``
+    class exists even under ``attack="none"`` (as plain honest
+    free-riders), so the honest baseline differs from the attack cells
+    only in the attack itself, not in the population's shape.
+    Colluders are sharers (they reciprocate internally); every other
+    adversary free-rides.
+    """
+    if attack not in ADVERSARIAL_ATTACKS:
+        raise ConfigError(
+            f"unknown attack {attack!r}; expected one of {ADVERSARIAL_ATTACKS}"
+        )
+    behavior = "sharer" if attack == "collusion" else "freeloader"
+    return (
+        PeerClassSpec(name="sharer", behavior="sharer"),
+        PeerClassSpec(
+            name="freeloader",
+            behavior="freeloader",
+            fraction=ADVERSARIAL_FREELOADER_FRACTION,
+        ),
+        PeerClassSpec(
+            name="adversary",
+            behavior=behavior,
+            fraction=ADVERSARY_FRACTION,
+            adversary=None if attack == "none" else attack,
+        ),
+    )
+
+
+def adversarial_scenario(attack: str, config: SimulationConfig) -> ScenarioSpec:
+    """The attack's timeline for one base config.
+
+    ``whitewash``: four laundering waves spread over the post-warmup
+    window, each cycling about half of the adversary class through
+    fresh identities — fast enough that the cooperative blacklist's
+    bans keep dying with the old ids.  ``sybil``: two ring spawns (one
+    early, one late) that grow the principal's identity farm.
+    ``collusion``/``none``: empty — clique behaviour is class-intrinsic
+    and the baseline is the closed system.
+    """
+    if attack not in ADVERSARIAL_ATTACKS:
+        raise ConfigError(
+            f"unknown attack {attack!r}; expected one of {ADVERSARIAL_ATTACKS}"
+        )
+    if attack in ("none", "collusion"):
+        return ()
+    window = config.duration - config.warmup
+    adversaries = int(round(config.num_peers * ADVERSARY_FRACTION))
+    if attack == "whitewash":
+        cycle = max(1, adversaries // 2)
+        return tuple(
+            IdentityWhitewash(
+                config.warmup + k * window / 5.0,
+                count=cycle,
+                class_name="adversary",
+            )
+            for k in (1, 2, 3, 4)
+        )
+    ring = max(2, adversaries // 2)
+    return (
+        SybilSpawn(config.warmup + window / 3.0, count=ring, class_name="adversary"),
+        SybilSpawn(
+            config.warmup + 2.0 * window / 3.0, count=ring, class_name="adversary"
+        ),
+    )
+
+
+def adversarial_config(
+    scale: str, mechanism: str, attack: str, seed: int
+) -> SimulationConfig:
+    """One ``robustness`` cell: one mechanism under one attack.
+
+    All cells run in the loaded regime (40 kbit/s uplinks — a mechanism
+    nobody queues for cannot be attacked) over the shared
+    :func:`adversarial_population` shape.
+    """
+    if mechanism not in ROBUSTNESS_CELLS:
+        raise ConfigError(
+            f"unknown robustness mechanism {mechanism!r}; expected one of "
+            f"{sorted(ROBUSTNESS_CELLS)}"
+        )
+    base = preset(
+        scale,
+        population=adversarial_population(attack),
+        upload_capacity_kbit=40.0,
+        seed=seed,
+        **ROBUSTNESS_CELLS[mechanism],
+    )
+    return base.replace(scenario=adversarial_scenario(attack, base))
 
 
 def preset(scale: str, **overrides) -> SimulationConfig:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.columnar import ColumnarCollector
@@ -85,6 +85,27 @@ class SimulationSummary:
     #: Total behaviour switches applied by the strategy layer.
     strategy_switches: int = 0
 
+    # Incentive robustness (see :mod:`repro.security.adversaries`).
+    # All defaults for runs without adversary classes, so honest
+    # summaries are unchanged byte for byte.
+    #: Peer-class labels that declared an ``adversary`` kind, sorted.
+    adversary_classes: List[str] = field(default_factory=list)
+    #: Measured-window volume the adversary classes extracted, MB per
+    #: class (total, not per peer — the haul is what the attack is for).
+    adversary_volume_mb_by_class: Dict[str, float] = field(default_factory=dict)
+    #: Mean download time over the honest (non-adversary) classes.
+    mean_download_time_honest_min: Optional[float] = None
+    #: Mean download time over the adversary classes.
+    mean_download_time_adversary_min: Optional[float] = None
+    #: Honest mean / adversary mean: > 1 means the mechanism serves
+    #: attackers *better* than the honest crowd — laundering won.
+    honest_download_inflation: Optional[float] = None
+    #: Requests refused because the requester was cooperatively banned.
+    blacklist_hits: int = 0
+    #: Whitewashes that shed an already-banned identity (§V's cheap
+    #: pseudonyms defeating the blacklist).
+    blacklist_evasions: int = 0
+
     # extras
     counters: Dict[str, int] = field(default_factory=dict)
 
@@ -128,6 +149,7 @@ def summarize(
     num_sharers: int,
     num_freeloaders: int,
     class_sizes: Optional[Mapping[str, int]] = None,
+    adversary_classes: Optional[Sequence[str]] = None,
 ) -> SimulationSummary:
     """Reduce raw records to the paper's headline metrics.
 
@@ -137,6 +159,11 @@ def summarize(
     ``class_sizes`` (population-class label → peer count) normalizes the
     per-class volume breakdown; when omitted, classes present in the
     records still get download-time and count entries.
+    ``adversary_classes`` (class labels running an attack, see
+    :mod:`repro.security.adversaries`) switches on the
+    incentive-robustness fields — honest/adversary mean split, per-class
+    extracted volume, blacklist hit/evasion counts; ``None`` (every
+    honest run) leaves them at their defaults.
 
     Works identically over both collector backends: all per-record
     reduction happens inside ``collector.session_aggregates`` and the
@@ -215,6 +242,48 @@ def summarize(
         + collector.counters["strategy.switch_to_freeloading"]
     )
 
+    # Incentive robustness: split the per-class download times into the
+    # honest crowd vs the attacker classes.  Labels are walked in sorted
+    # order so both collector backends concatenate identically.
+    adversary_labels = sorted(adversary_classes) if adversary_classes else []
+    adversary_volume_by_class: Dict[str, float] = {}
+    honest_mean_min: Optional[float] = None
+    adversary_mean_min: Optional[float] = None
+    inflation: Optional[float] = None
+    blacklist_hits = 0
+    blacklist_evasions = 0
+    if adversary_labels:
+        adversary_set = set(adversary_labels)
+        adversary_volume_by_class = {
+            label: kbit_to_mb(kbit_by_peer_class.get(label, 0.0))
+            for label in adversary_labels
+        }
+        honest_times: List[float] = []
+        adversary_times: List[float] = []
+        for label in sorted(set(times_by_peer_class) | adversary_set):
+            bucket = (
+                adversary_times if label in adversary_set else honest_times
+            )
+            bucket.extend(times_by_peer_class.get(label, []))
+        honest_mean = _mean(honest_times)
+        adversary_mean = _mean(adversary_times)
+        honest_mean_min = (
+            seconds_to_minutes(honest_mean) if honest_mean is not None else None
+        )
+        adversary_mean_min = (
+            seconds_to_minutes(adversary_mean)
+            if adversary_mean is not None
+            else None
+        )
+        if (
+            honest_mean_min is not None
+            and adversary_mean_min is not None
+            and adversary_mean_min > 0.0
+        ):
+            inflation = honest_mean_min / adversary_mean_min
+        blacklist_hits = collector.counters["adversary.blacklist_hit"]
+        blacklist_evasions = collector.counters["adversary.blacklist_evasion"]
+
     mean_sharer = _mean(sharer_times)
     mean_freeloader = _mean(freeloader_times)
     mean_all = _mean(all_times)
@@ -251,5 +320,12 @@ def summarize(
         equilibrium_sharing_fraction=equilibrium_fraction,
         final_sharing_fraction=final_fraction,
         strategy_switches=switches,
+        adversary_classes=adversary_labels,
+        adversary_volume_mb_by_class=adversary_volume_by_class,
+        mean_download_time_honest_min=honest_mean_min,
+        mean_download_time_adversary_min=adversary_mean_min,
+        honest_download_inflation=inflation,
+        blacklist_hits=blacklist_hits,
+        blacklist_evasions=blacklist_evasions,
         counters=dict(collector.counters),
     )

@@ -314,6 +314,12 @@ class Peer:
         provider = self.ctx.peer(provider_id)
         if not provider.shares:
             return False
+        # Adversarial admission (see repro.security.adversaries):
+        # colluders refuse outsiders, honest providers refuse
+        # blacklisted identities.  None for every honest run.
+        adversary = self.ctx.adversary
+        if adversary is not None and not adversary.allows(provider, self.peer_id):
+            return False
         entry = RequestEntry(
             requester_id=self.peer_id,
             object_id=download.object.object_id,

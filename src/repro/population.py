@@ -77,6 +77,12 @@ class PeerClassSpec:
     #: by default), so pre-strategy configs never revise.  The class's
     #: ``behavior`` is the *initial condition* of the dynamics.
     strategy: Optional[StrategySpec] = None
+    #: Attacker kind for this class (see
+    #: :mod:`repro.security.adversaries`): ``"whitewash"``, ``"sybil"``
+    #: or ``"collusion"``.  ``None`` (the default, and the only value
+    #: legacy configs can hold) means the class is honest and the run
+    #: constructs no adversary machinery at all.
+    adversary: Optional[str] = None
 
     def validate(self) -> None:
         """Spec-local checks (cross-class checks live in resolution)."""
@@ -121,6 +127,22 @@ class PeerClassSpec:
                     f"StrategySpec, got {type(self.strategy).__name__}"
                 )
             self.strategy.validate()
+        if self.adversary is not None:
+            # Locally imported: the security package sits outside the
+            # config import graph (same idiom as parse_mechanism above).
+            from repro.security.adversaries import ADVERSARIES
+
+            if self.adversary not in ADVERSARIES:
+                raise ConfigError(
+                    f"peer class {self.name!r} has unknown adversary kind "
+                    f"{self.adversary!r}; expected one of {ADVERSARIES}"
+                )
+            if self.adversary == "collusion" and self.behavior != "sharer":
+                raise ConfigError(
+                    f"peer class {self.name!r}: colluders must be sharers "
+                    "(a clique of non-serving peers has nothing to "
+                    "reciprocate internally)"
+                )
 
 
 @dataclass(frozen=True)
@@ -139,6 +161,7 @@ class ResolvedPeerClass:
     categories_per_peer_min: int
     categories_per_peer_max: int
     strategy: StrategySpec = STATIC
+    adversary: Optional[str] = None
 
     def validate(self, slot_kbit: float) -> None:
         """Check the concrete per-class values against the slot geometry."""
@@ -207,6 +230,7 @@ def _resolve_one(spec: PeerClassSpec, count: int, config: "SimulationConfig") ->
             spec.categories_per_peer_max, config.categories_per_peer_max
         ),
         strategy=inherit(spec.strategy, inherit(config.strategy, STATIC)),
+        adversary=spec.adversary,
     )
 
 

@@ -45,13 +45,22 @@ motivation each models:
   :mod:`repro.strategy`: forcibly flip a fraction of the revising peers
   and/or bias the perceived sharing payoff for a while (equilibrium
   stability probes in the style of the game-theoretic related work).
+* :class:`IdentityWhitewash` — ``count`` whitewashing adversaries (a
+  class with ``adversary="whitewash"``) retire and re-arrive under
+  fresh identities, shedding blacklist entries (paper §V's cheap
+  pseudonyms; see :mod:`repro.security.adversaries`).
+* :class:`SybilSpawn` — one principal spawns ``count`` fresh sybil
+  identities (a class with ``adversary="sybil"``) bound into a ring
+  that cross-reports standing and fakes participation.
 
 An **empty scenario is the closed system, bit-for-bit**: no events are
 scheduled, no RNG stream is touched, and a ``scenario=()`` run replays
 the pre-scenario build exactly (the golden fig7 table guards this).
-All scenario randomness draws from the dedicated ``"scenario"`` stream,
-so two runs of the same seed and scenario are identical, and adding a
-scenario never perturbs the draws of any other subsystem.
+All scenario randomness draws from the dedicated ``"scenario"`` stream
+— except the adversarial events, which draw from their own
+``"adversary"`` stream (created lazily on first use), so adding an
+attack to a timeline never perturbs the benign events' draws — and two
+runs of the same seed and scenario are identical.
 """
 
 from __future__ import annotations
@@ -195,6 +204,41 @@ class StrategyShock:
     kind: str = field(default="strategy_shock", init=False)
 
 
+@dataclass(frozen=True)
+class IdentityWhitewash:
+    """``count`` whitewashing adversaries launder their identities.
+
+    Each sampled adversary (from ``class_name``, or from every
+    whitewash-capable class when ``None``) retires permanently and
+    immediately re-arrives as a *fresh* peer id of the same class —
+    blacklist entries, credit debt and participation history all stay
+    with the dead identity.  Targets are sampled from the dedicated
+    ``"adversary"`` RNG stream.  Fewer than ``count`` live candidates
+    is not an error — everyone who can launder does.
+    """
+
+    time: float
+    count: int
+    class_name: Optional[str] = None
+    kind: str = field(default="whitewash", init=False)
+
+
+@dataclass(frozen=True)
+class SybilSpawn:
+    """One principal spawns ``count`` sybil identities as a ring.
+
+    The identities join ``class_name`` (which must declare
+    ``adversary="sybil"``) exactly like an arrival wave, then bind into
+    a :class:`~repro.security.adversaries.SybilRing` whose members
+    cross-report standing and fake participation for each other.
+    """
+
+    time: float
+    count: int
+    class_name: str
+    kind: str = field(default="sybil_spawn", init=False)
+
+
 #: Every concrete scenario event type (isinstance checks, docs, tests).
 EVENT_TYPES = (
     Phase,
@@ -205,6 +249,8 @@ EVENT_TYPES = (
     MechanismRamp,
     CapacityChange,
     StrategyShock,
+    IdentityWhitewash,
+    SybilSpawn,
 )
 
 ScenarioEvent = Union[
@@ -216,6 +262,8 @@ ScenarioEvent = Union[
     MechanismRamp,
     CapacityChange,
     StrategyShock,
+    IdentityWhitewash,
+    SybilSpawn,
 ]
 
 ScenarioSpec = Tuple[ScenarioEvent, ...]
@@ -244,6 +292,18 @@ def ordered_events(events) -> list:
     Returns ``(declaration_index, event)`` pairs.
     """
     return sorted(enumerate(events), key=lambda pair: (pair[1].time, pair[0]))
+
+
+def adversary_kind_by_class(config: "SimulationConfig") -> dict:
+    """Class name → adversary kind (``None`` = honest) for every
+    runtime-addressable class: population classes plus inline arrival
+    specs (an attack may target a class that only exists after its
+    first wave)."""
+    kinds = {cls.name: cls.adversary for cls in config.resolved_population()}
+    for event in config.scenario:
+        if isinstance(event, PeerArrival) and event.spec is not None:
+            kinds.setdefault(event.spec.name, event.spec.adversary)
+    return kinds
 
 
 def _has_strategy_dynamics(config: "SimulationConfig") -> bool:
@@ -389,6 +449,38 @@ def validate_scenario(config: "SimulationConfig") -> None:
                     "static population; give some class (or the global "
                     "config) a non-static StrategySpec"
                 )
+        elif isinstance(event, IdentityWhitewash):
+            if event.count < 1:
+                raise ConfigError(
+                    f"whitewash count must be >= 1, got {event.count}"
+                )
+            check_class(event, event.class_name)
+            kinds = adversary_kind_by_class(config)
+            if event.class_name is not None:
+                if kinds.get(event.class_name) != "whitewash":
+                    raise ConfigError(
+                        f"whitewash at t={event.time:g} targets class "
+                        f"{event.class_name!r}, which does not declare "
+                        'adversary="whitewash"'
+                    )
+            elif "whitewash" not in kinds.values():
+                raise ConfigError(
+                    f"whitewash at t={event.time:g} but no peer class "
+                    'declares adversary="whitewash"'
+                )
+        elif isinstance(event, SybilSpawn):
+            if event.count < 2:
+                raise ConfigError(
+                    f"a sybil ring needs count >= 2 identities, "
+                    f"got {event.count}"
+                )
+            check_class(event, event.class_name)
+            if adversary_kind_by_class(config).get(event.class_name) != "sybil":
+                raise ConfigError(
+                    f"sybil spawn at t={event.time:g} targets class "
+                    f"{event.class_name!r}, which does not declare "
+                    'adversary="sybil"'
+                )
 
     # A *named* arrival needs a concrete class shape at fire time, so
     # its class must be a population class or a spec class whose
@@ -398,6 +490,13 @@ def validate_scenario(config: "SimulationConfig") -> None:
     population_names = {cls.name for cls in config.resolved_population()}
     defined = set(population_names)
     for _, event in ordered_events(events):
+        # Sybil spawns resolve their class by name at fire time exactly
+        # like named arrivals, so they obey the same ordering rule.
+        if isinstance(event, SybilSpawn) and event.class_name not in defined:
+            raise ConfigError(
+                f"sybil spawn at t={event.time:g} references class "
+                f"{event.class_name!r} before any spec wave defined it"
+            )
         if not isinstance(event, PeerArrival):
             continue
         if event.class_name is not None and event.class_name not in defined:
@@ -428,6 +527,10 @@ class ScenarioDirector:
         self.peers_spawned = 0
         self.peers_retired = 0
         self._rand = self.ctx.rng.stream("scenario")
+        # The adversarial events' stream, created on first use so
+        # attack-free timelines never touch it (stream creation is
+        # side-effect-free, but lazy keeps the intent visible).
+        self._adv_rand = None
         for index, event in ordered_events(sim.config.scenario):
             # Event times are absolute timeline timestamps, so use the
             # absolute scheduling entry point: a director constructed
@@ -459,6 +562,10 @@ class ScenarioDirector:
             self._apply_capacity_change(event)
         elif isinstance(event, StrategyShock):
             self._apply_strategy_shock(event)
+        elif isinstance(event, IdentityWhitewash):
+            self._apply_whitewash(event)
+        elif isinstance(event, SybilSpawn):
+            self._apply_sybil_spawn(event)
         else:  # pragma: no cover - validate_scenario rejects these
             raise ConfigError(f"unknown scenario event {event!r}")
 
@@ -566,6 +673,39 @@ class ScenarioDirector:
             self.ctx.metrics.count("scenario.strategy_shock_noop")
             return
         director.apply_shock(event)
+
+    def _adversary_stream(self):
+        if self._adv_rand is None:
+            self._adv_rand = self.ctx.rng.stream("adversary")
+        return self._adv_rand
+
+    def _apply_whitewash(self, event: IdentityWhitewash) -> None:
+        state = self.sim.adversary
+        if state is None:
+            # The whitewash class is an arrival-spec class whose first
+            # wave has not landed yet: nobody to launder.
+            self.ctx.metrics.count("adversary.whitewash_noop")
+            return
+        candidates = [
+            peer_id
+            for peer_id in self._alive_peer_ids(event.class_name)
+            if state.kind_of.get(peer_id) == "whitewash"
+        ]
+        chosen = self._adversary_stream().sample(
+            candidates, min(event.count, len(candidates))
+        )
+        for peer_id in chosen:
+            state.whitewash(self.ctx.peers[peer_id])
+        self.peers_retired += len(chosen)
+        self.peers_spawned += len(chosen)
+
+    def _apply_sybil_spawn(self, event: SybilSpawn) -> None:
+        resolved = self.sim.arrival_class(event.class_name, None, event.count)
+        members = [self.sim.spawn_peer(resolved) for _ in range(event.count)]
+        self.peers_spawned += len(members)
+        # spawn_peer enrolled every member, so the state exists now.
+        self.sim.adversary.form_ring(members)
+        self.ctx.metrics.count("adversary.sybil_identities", len(members))
 
     def _apply_capacity_change(self, event: CapacityChange) -> None:
         for peer_id in self._alive_peer_ids(event.class_name):

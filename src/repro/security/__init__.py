@@ -8,6 +8,9 @@ each has a model here:
 * windowed exchange pacing that bounds a cheater's haul to the window
   size (:mod:`repro.security.windows`),
 * local and cooperative blacklists (:mod:`repro.security.blacklist`),
+* adversarial peer populations driving the above inside full runs —
+  whitewashers, sybil rings, collusion cliques
+  (:mod:`repro.security.adversaries`),
 * the trusted-mediator encrypted exchange that defeats freeriding
   middlemen (:mod:`repro.security.mediator`), and
 * the middleman attack itself plus the Table I / Fig. 3 non-ring
@@ -17,6 +20,7 @@ Cryptography is modelled abstractly: what matters for incentives is
 *who can decrypt what after which checks*, not the ciphers themselves.
 """
 
+from repro.security.adversaries import ADVERSARIES, AdversaryState, SybilRing
 from repro.security.blacklist import CooperativeBlacklist, LocalBlacklist
 from repro.security.checksums import BlockValidator, ChecksumService
 from repro.security.mediator import EncryptedBlock, Mediator, MediatedExchange
@@ -29,6 +33,8 @@ from repro.security.middleman import (
 from repro.security.windows import WindowedExchange, max_exchange_rate
 
 __all__ = [
+    "ADVERSARIES",
+    "AdversaryState",
     "BlockValidator",
     "ChecksumService",
     "CooperativeBlacklist",
@@ -37,6 +43,7 @@ __all__ = [
     "MediatedExchange",
     "Mediator",
     "MiddlemanOutcome",
+    "SybilRing",
     "WindowedExchange",
     "capacity_exchange_rates",
     "max_exchange_rate",

@@ -114,6 +114,16 @@ class Mediator:
             self.keys_released.setdefault(recipient, set()).update(keys)
         return released
 
+    def keys_for(self, peer_id: int) -> Set[int]:
+        """The sender ids whose keys ``peer_id`` holds, as a *copy*.
+
+        The internal release table is live mutable state; handing the
+        set itself out would let a caller mint decryption rights by
+        mutating it (the same leak class as the pre-PR-1
+        ``LookupService.providers``).
+        """
+        return set(self.keys_released.get(peer_id, set()))
+
     def can_decrypt(self, peer_id: int, block: EncryptedBlock) -> bool:
         """Whether ``peer_id`` holds the key for this block's sender."""
         return block.sender_id in self.keys_released.get(peer_id, set())

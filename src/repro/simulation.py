@@ -90,6 +90,7 @@ class FileSharingSimulation:
         self.churn = None  # set by build() when churn is enabled
         self.scenario = None  # set by build() when the scenario is non-empty
         self.strategy = None  # set lazily when some class revises its strategy
+        self.adversary = None  # set lazily when some class is adversarial
         self._built = False
         self._ran = False
         self._processes: List[PeriodicProcess] = []
@@ -193,6 +194,35 @@ class FileSharingSimulation:
         if self.strategy is None:
             self.strategy = StrategyDirector(self)
         return self.strategy
+
+    def _ensure_adversary_state(self):
+        """The adversary bookkeeping, created on first enrollment.
+
+        Lazy for the same reason as the strategy director: only configs
+        with an adversarial peer class pay for it, and an honest run is
+        bit-identical to a pre-adversary build (no state, no audit
+        process, no events).  The first enrollment also starts the
+        periodic cooperative-blacklist audit.
+        """
+        if self.adversary is None:
+            from repro.security.adversaries import AdversaryState
+
+            state = AdversaryState(self)
+            self.adversary = state
+            self.ctx.adversary = state
+            # Detection is deliberately slower than serving: one audit
+            # every four scan intervals, aligned (no stagger — the
+            # audit draws no randomness and order is sorted-id).
+            interval = self.config.scan_interval * 4.0
+            audit = PeriodicProcess(
+                self.ctx.engine,
+                interval,
+                state.audit,
+                name="adversary.audit",
+                start_delay=interval,
+            )
+            self.register_process(audit)
+        return self.adversary
 
     def register_process(self, process: PeriodicProcess) -> None:
         """Track a periodic process so :meth:`run` stops it at the end."""
@@ -347,6 +377,8 @@ class FileSharingSimulation:
         )
         peer.attach_workload(workload)
         ctx.peers[peer_id] = peer
+        if peer_class.adversary is not None:
+            self._ensure_adversary_state().enroll(peer, peer_class)
         return peer
 
     def _start_peer_processes(self, peer: Peer) -> None:
@@ -482,12 +514,18 @@ class FileSharingSimulation:
         # move them mid-run, and under an explicit population the
         # legacy properties say nothing about the actual split.  With
         # an empty scenario these are exactly the build-time values.
+        adversary_classes = sorted(
+            name
+            for name, cls in self._classes_by_name.items()
+            if cls.adversary is not None
+        )
         summary = summarize(
             self.ctx.metrics,
             warmup=self.config.warmup,
             num_sharers=self._num_sharers,
             num_freeloaders=self._num_freeloaders,
             class_sizes=self._class_sizes,
+            adversary_classes=adversary_classes or None,
         )
         return SimulationResult(
             config=self.config,

@@ -25,7 +25,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.experiments.presets import flash_crowd_scenario, preset
+from repro.experiments.presets import (
+    adversarial_config,
+    adversarial_scenario,
+    flash_crowd_scenario,
+    preset,
+)
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.columnar import ColumnarCollector
 from repro.metrics.records import TerminationReason, TrafficClass
@@ -115,11 +120,29 @@ epoch_args = st.builds(
     ),
 )
 
+# Adversary bookkeeping arrives through the counter surface; the
+# summary's robustness fields read these names plus the by-class views.
+ADVERSARY_COUNTERS = [
+    "adversary.whitewash",
+    "adversary.blacklist_hit",
+    "adversary.blacklist_evasion",
+    "adversary.sybil_identities",
+    "adversary.collusion_refusal",
+]
+
+counter_args = st.fixed_dictionaries(
+    {
+        "name": st.sampled_from(ADVERSARY_COUNTERS),
+        "n": st.integers(1, 50),
+    }
+)
+
 stream = st.lists(
     st.one_of(
         st.tuples(st.just("session"), session_args),
         st.tuples(st.just("download"), download_args),
         st.tuples(st.just("epoch"), epoch_args),
+        st.tuples(st.just("count"), counter_args),
     ),
     max_size=60,
 )
@@ -129,7 +152,19 @@ def summary_json(collector, warmup: float) -> str:
     summary = summarize(
         collector, warmup=warmup, num_sharers=20, num_freeloaders=20
     )
-    return json.dumps(summary.to_dict(), sort_keys=False)
+    # A second pass with one class marked adversarial exercises the
+    # robustness fields (volumes, honest/adversary means, hit counts)
+    # over the same synthetic records.
+    adversarial = summarize(
+        collector,
+        warmup=warmup,
+        num_sharers=20,
+        num_freeloaders=20,
+        adversary_classes=("freeloader",),
+    )
+    return json.dumps(
+        [summary.to_dict(), adversarial.to_dict()], sort_keys=False
+    )
 
 
 @settings(max_examples=80, deadline=None)
@@ -143,6 +178,8 @@ def test_property_identical_over_synthetic_streams(events, warmup):
                 collector.add_session(**kwargs)
             elif kind == "download":
                 collector.add_download(**kwargs)
+            elif kind == "count":
+                collector.count(kwargs["name"], kwargs["n"])
             else:
                 collector.add_strategy_epoch(**kwargs)
 
@@ -216,7 +253,23 @@ CELLS = {
             window=3_000.0,
         ),
     ),
+    # Adversarial cells (ISSUE 10): every attack must be
+    # backend-invariant too.
+    "adversarial-whitewash": lambda: _shrunk_adversarial("credit", "whitewash"),
+    "adversarial-sybil": lambda: _shrunk_adversarial("participation", "sybil"),
+    "adversarial-collusion": lambda: _shrunk_adversarial("exchange", "collusion"),
 }
+
+
+def _shrunk_adversarial(mechanism, attack, retention="full"):
+    """An adversarial robustness cell with a third of the smoke window."""
+    config = adversarial_config("smoke", mechanism, attack, 42).replace(
+        scenario=(),
+        duration=12_000.0,
+        warmup=3_000.0,
+        metrics_retention=retention,
+    )
+    return config.replace(scenario=adversarial_scenario(attack, config))
 
 
 @pytest.mark.parametrize("cell", sorted(CELLS))

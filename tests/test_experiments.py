@@ -78,7 +78,7 @@ class TestFigureRegistry:
         assert sorted(FIGURES) == [
             "adoption", "evolution", "fig10", "fig11", "fig12", "fig4",
             "fig5", "fig6", "fig7", "fig8", "fig9", "flashcrowd",
-            "swarm-growth", "tiers",
+            "robustness", "swarm-growth", "tiers",
         ]
 
     def test_unknown_figure_rejected(self):

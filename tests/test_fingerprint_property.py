@@ -19,7 +19,14 @@ import pytest
 from repro.config import SimulationConfig
 from repro.experiments.orchestrator import config_fingerprint
 from repro.population import PeerClassSpec
-from repro.scenario import EVENT_TYPES, FlashCrowd, Phase, StrategyShock
+from repro.scenario import (
+    EVENT_TYPES,
+    FlashCrowd,
+    IdentityWhitewash,
+    Phase,
+    StrategyShock,
+    SybilSpawn,
+)
 from repro.strategy import StrategySpec
 
 
@@ -34,6 +41,12 @@ def base_config() -> SimulationConfig:
                 behavior="freeloader",
                 strategy=StrategySpec(rule="best-response"),
             ),
+            # Adversary-capable classes so IdentityWhitewash / SybilSpawn
+            # events validate; two sybil classes so class_name mutation
+            # can stay within the required kind.
+            PeerClassSpec(name="ww", fraction=0.1, behavior="freeloader", adversary="whitewash"),
+            PeerClassSpec(name="syb", fraction=0.1, behavior="freeloader", adversary="sybil"),
+            PeerClassSpec(name="syb2", fraction=0.05, behavior="freeloader", adversary="sybil"),
         ),
         scenario=(
             Phase(time=0.0, name="steady"),
@@ -67,6 +80,8 @@ def mutate(value, field: dataclasses.Field):
         return "a" if value != "a" else "b"
     if name == "service_discipline":
         return "credit" if value != "credit" else "fifo"
+    if name == "adversary":
+        return "whitewash" if value != "whitewash" else "sybil"
     if name in ("initial_fill_fraction", "lookup_coverage"):
         return 0.5 if value != 0.5 else 0.75  # stay inside the validated (0,1] range
     if isinstance(value, StrategySpec):
@@ -198,9 +213,18 @@ def test_every_scenario_event_field_moves_the_fingerprint(event_type):
                 class_name=None,
                 spec=PeerClassSpec(name="inline", behavior="sharer"),
             )
-        mutated_event = dataclasses.replace(
-            event, **{field.name: mutate(getattr(event, field.name), field)}
-        )
+        if field.name == "class_name" and event_type in (IdentityWhitewash, SybilSpawn):
+            # The generic class_name mutation swaps between "a" and "b",
+            # but these events demand a class of the matching adversary
+            # kind — move to a different same-kind class instead.
+            alternates = {IdentityWhitewash: "ww", SybilSpawn: "syb2"}
+            mutated_event = dataclasses.replace(
+                event, class_name=alternates[event_type]
+            )
+        else:
+            mutated_event = dataclasses.replace(
+                event, **{field.name: mutate(getattr(event, field.name), field)}
+            )
         with_event = base.replace(scenario=base.scenario + (event,))
         with_mutated = base.replace(scenario=base.scenario + (mutated_event,))
         assert fingerprints_differ(with_event, with_mutated), (
@@ -234,5 +258,7 @@ def _example_event(event_type):
         StrategyShock: StrategyShock(
             time=4_000.0, flip_fraction=0.2, payoff_bias=0.5, duration=500.0
         ),
+        IdentityWhitewash: IdentityWhitewash(time=4_000.0, count=1),
+        SybilSpawn: SybilSpawn(time=4_000.0, count=2, class_name="syb"),
     }
     return examples[event_type]

@@ -95,9 +95,9 @@ class TestFingerprint:
 
     def test_scenario_cache_schema_bumped(self, tmp_path):
         """Entries written before the strategy layer (schema <= 3) are
-        misses; the current stamp covers strategy-bearing summaries and
-        the retention/perf-counter knobs."""
-        assert orchestrator.CACHE_SCHEMA_VERSION == 6
+        misses; the current stamp covers strategy-bearing summaries,
+        the retention/perf-counter knobs, and the adversary metrics."""
+        assert orchestrator.CACHE_SCHEMA_VERSION == 7
         cache = ResultCache(str(tmp_path))
         plain = tiny_config()
         cache.store(plain, fake_summary())

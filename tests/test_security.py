@@ -132,6 +132,17 @@ class TestBlacklists:
         with pytest.raises(ProtocolError):
             shared.report(9, 9)
 
+    def test_reporters_of_returns_a_copy(self):
+        # Regression: the accessor must never hand out the live report
+        # set — a caller could forge witness reports (or erase them) by
+        # mutating it, the same leak class as the pre-PR-1
+        # LookupService.providers bug.
+        shared = CooperativeBlacklist(report_threshold=2)
+        shared.report(1, 9)
+        shared.reporters_of(9).add(2)  # mutating the returned set...
+        assert shared.allows(9)  # ...must not mint a second report
+        assert shared.reporters_of(9) == {1}
+
     def test_cheap_pseudonyms(self):
         assert cheap_pseudonym_gain(100, False, 20) == 2000
         assert cheap_pseudonym_gain(100, True, 20) == 20
@@ -166,6 +177,24 @@ class TestMediator:
         exchange = MediatedExchange(mediator, peer_a=1, peer_b=2)
         exchange.transfer(sender_id=1, origin_id=1, object_id=10, blocks=4)
         assert exchange.settle() == {}
+
+    def test_keys_for_returns_a_copy(self):
+        # Regression: handing out the live release table would let a
+        # peer mint decryption rights by mutating the returned set.
+        mediator = Mediator()
+        exchange = MediatedExchange(mediator, peer_a=1, peer_b=2)
+        exchange.transfer(sender_id=1, origin_id=1, object_id=10, blocks=4)
+        exchange.transfer(sender_id=2, origin_id=2, object_id=20, blocks=4)
+        exchange.settle()
+        assert mediator.keys_for(2) == {1}
+        mediator.keys_for(2).add(99)  # forging a key grant...
+        assert mediator.keys_for(2) == {1}  # ...must not stick
+        assert not mediator.can_decrypt(
+            2, EncryptedBlock(sender_id=99, origin_id=99, object_id=0, index=0)
+        )
+        # Unknown peers get an (unshared) empty set, not a live default.
+        mediator.keys_for(7).add(1)
+        assert mediator.keys_for(7) == set()
 
     def test_can_decrypt(self):
         mediator = Mediator()

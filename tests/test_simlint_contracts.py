@@ -616,3 +616,34 @@ class TestSeededViolations:
             """,
             "VER001",
         )
+
+    def test_seeded_rng002_in_adversaries(self, tmp_path, capsys):
+        # An unsanctioned draw in the attacker layer: sampling whitewash
+        # targets without naming the "adversary" stream must be flagged.
+        self._assert_flags(
+            tmp_path,
+            capsys,
+            "security/adversaries.py",
+            """\
+
+            def _seeded_pick_targets(rng, candidate_ids):
+                return rng.sample(candidate_ids, 1)
+            """,
+            "RNG002",
+        )
+
+    def test_seeded_det002_in_adversaries(self, tmp_path, capsys):
+        # Drawing from an unordered pool is nondeterministic even on the
+        # sanctioned stream: set iteration order feeds the sampler.
+        self._assert_flags(
+            tmp_path,
+            capsys,
+            "security/adversaries.py",
+            """\
+
+            def _seeded_pick_clique(rng, state):
+                pool = {1, 2, 3}
+                return rng.sample(pool, 1, stream="adversary")
+            """,
+            "DET002",
+        )

@@ -58,6 +58,8 @@ def _feed(collector, events):
             collector.add_session(**kwargs)
         elif kind == "download":
             collector.add_download(**kwargs)
+        elif kind == "count":
+            collector.count(kwargs["name"], kwargs["n"])
         else:
             collector.add_strategy_epoch(**kwargs)
 
@@ -281,6 +283,32 @@ def test_streaming_retains_a_fraction_of_full_storage():
     streaming._sessions.drain()
     full._sessions.drain()
     assert streaming.storage_nbytes() < full.storage_nbytes() / 3
+
+
+@pytest.mark.parametrize(
+    "cell",
+    [("credit", "whitewash"), ("participation", "sybil"), ("exchange", "collusion")],
+    ids=lambda c: c[1],
+)
+def test_adversarial_cells_streaming_identical_to_full(cell):
+    """Streaming retention is invisible under every attack cell too:
+    same trajectory, same counters (the adversary.* names included),
+    byte-identical summary with the robustness fields populated."""
+    from test_collector_equivalence import _shrunk_adversarial
+
+    mechanism, attack = cell
+    full_run = run_simulation(_shrunk_adversarial(mechanism, attack))
+    streaming_run = run_simulation(
+        _shrunk_adversarial(mechanism, attack, retention="streaming").replace(
+            metrics_backend="columnar"
+        )
+    )
+    assert streaming_run.events_fired == full_run.events_fired
+    assert dict(streaming_run.metrics.counters) == dict(full_run.metrics.counters)
+    left = json.dumps(streaming_run.summary.to_dict(), sort_keys=False)
+    right = json.dumps(full_run.summary.to_dict(), sort_keys=False)
+    assert left == right
+    assert streaming_run.summary.adversary_classes == ["adversary"]
 
 
 def test_summarize_accepts_streaming_collector_directly():
